@@ -1,0 +1,36 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+``REPRO_BENCH_SCALE`` (default 0.1) controls input sizes; the suite
+runner caches traces on disk, so only the first benchmark session pays
+the execution cost.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.benchmarksuite import ALL_BENCHMARK_NAMES
+from repro.experiments import SuiteRunner
+from repro.experiments.paper_values import BENCHMARKS
+
+
+def bench_scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """A session-wide suite runner with the on-disk trace cache."""
+    suite = SuiteRunner(scale=bench_scale())
+    # Warm every benchmark (including the Table 5 extras) up front so
+    # individual benches time their computation, not trace collection.
+    suite.run_all(ALL_BENCHMARK_NAMES)
+    return suite
+
+
+@pytest.fixture(scope="session")
+def all_runs(runner):
+    """The ten core benchmarks of Tables 1-4."""
+    return {name: runner.run(name) for name in BENCHMARKS}

@@ -1,0 +1,50 @@
+"""Ablation: BTB associativity.
+
+"Both the SBTB and the CBTB are fully associative to provide the
+highest possible hit ratio.  With 256 entries, it may not be feasible
+to implement full associativity.  Hence, the results are biased
+slightly in favor of the two hardware approaches."
+
+We sweep associativity at fixed capacity and measure the bias.
+"""
+
+from repro.experiments.report import mean
+from repro.predictors import CounterBTB, SimpleBTB, simulate
+
+ASSOCIATIVITIES = (1, 2, 4, 8, None)   # None = fully associative
+
+
+def _sweep(all_runs, make_predictor):
+    results = {}
+    for associativity in ASSOCIATIVITIES:
+        accuracies = [
+            simulate(make_predictor(associativity), run.trace).accuracy
+            for run in all_runs.values()
+        ]
+        results[associativity] = mean(accuracies)
+    return results
+
+
+def test_associativity_ablation(runner, all_runs, benchmark):
+    def kernel():
+        return (
+            _sweep(all_runs, lambda a: SimpleBTB(256, a)),
+            _sweep(all_runs, lambda a: CounterBTB(256, a)),
+        )
+
+    sbtb, cbtb = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print("\nAssociativity ablation (256 entries, suite-average accuracy)")
+    print("ways      A_SBTB    A_CBTB")
+    for associativity in ASSOCIATIVITIES:
+        label = "full" if associativity is None else str(associativity)
+        print("%-8s %8.4f  %8.4f"
+              % (label, sbtb[associativity], cbtb[associativity]))
+
+    # Full associativity is at least as good as direct mapped — the
+    # "bias" the paper acknowledges.
+    assert sbtb[None] >= sbtb[1] - 1e-9
+    assert cbtb[None] >= cbtb[1] - 1e-9
+    # With 256 entries and small working sets, modest associativity
+    # already recovers nearly all of it.
+    assert cbtb[4] >= cbtb[None] - 0.02

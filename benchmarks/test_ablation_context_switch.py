@@ -1,0 +1,60 @@
+"""Ablation: context switching (Section 3's discussion, made concrete).
+
+"If context switching had been simulated, one would expect the
+performance of the SBTB and the CBTB to be less impressive ... the
+prediction accuracy of the Forward Semantic would not have changed."
+
+We flush the buffered schemes at fixed dynamic-instruction intervals
+and verify exactly that.
+"""
+
+from repro.experiments.report import mean
+from repro.predictors import (
+    CounterBTB,
+    ForwardSemanticPredictor,
+    SimpleBTB,
+    simulate,
+)
+
+FLUSH_INTERVALS = (None, 100_000, 20_000, 5_000)
+
+
+def _accuracies(all_runs, interval):
+    sbtb, cbtb, fs = [], [], []
+    for run in all_runs.values():
+        sbtb.append(simulate(SimpleBTB(), run.trace,
+                             flush_interval=interval).accuracy)
+        cbtb.append(simulate(CounterBTB(), run.trace,
+                             flush_interval=interval).accuracy)
+        fs.append(simulate(ForwardSemanticPredictor(program=run.fs_program),
+                           run.trace, flush_interval=interval).accuracy)
+    return mean(sbtb), mean(cbtb), mean(fs)
+
+
+def test_context_switch_ablation(runner, all_runs, benchmark):
+    results = benchmark.pedantic(
+        lambda: {interval: _accuracies(all_runs, interval)
+                 for interval in FLUSH_INTERVALS},
+        rounds=1, iterations=1)
+
+    print("\nContext-switch ablation (suite-average accuracy)")
+    print("flush interval      A_SBTB   A_CBTB   A_FS")
+    for interval, (sbtb, cbtb, fs) in results.items():
+        label = "never" if interval is None else str(interval)
+        print("%-17s %8.4f %8.4f %8.4f" % (label, sbtb, cbtb, fs))
+
+    base = results[None]
+    for interval in FLUSH_INTERVALS[1:]:
+        flushed = results[interval]
+        # Hardware schemes degrade (or at best stay equal)...
+        assert flushed[0] <= base[0] + 1e-9
+        assert flushed[1] <= base[1] + 1e-9
+        # ...the Forward Semantic is bit-for-bit unaffected.
+        assert flushed[2] == base[2]
+
+    # More frequent switching hurts more.
+    assert results[5_000][0] <= results[100_000][0] + 1e-9
+    assert results[5_000][1] <= results[100_000][1] + 1e-9
+    # At the harshest interval FS must beat both hardware schemes.
+    assert results[5_000][2] > results[5_000][0]
+    assert results[5_000][2] > results[5_000][1]

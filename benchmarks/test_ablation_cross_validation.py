@@ -1,0 +1,64 @@
+"""Ablation: profile-input sensitivity of the Forward Semantic.
+
+The paper profiles and measures on the same input suite (and says so).
+A natural robustness question: how much accuracy does the FS lose when
+the measurement inputs were never profiled?  We profile on the first
+half of each benchmark's runs, evaluate on the second half, and
+compare against the same-inputs accuracy.
+"""
+
+from repro.benchmarksuite import compile_benchmark, get_benchmark
+from repro.experiments.paper_values import BENCHMARKS
+from repro.experiments.report import mean
+from repro.predictors import ForwardSemanticPredictor, simulate
+from repro.profiling import profile_program
+from repro.traceopt import build_fs_program
+from repro.vm import run_program
+
+from conftest import bench_scale
+
+
+def _split_accuracy(name, scale):
+    spec = get_benchmark(name)
+    program = compile_benchmark(name)
+    suite = spec.input_suite(scale=scale)
+    half = max(1, len(suite) // 2)
+    train, test = suite[:half], suite[half:] or suite[:1]
+
+    profile, _ = profile_program(program, train)
+    layout = build_fs_program(program, profile)
+    predictor = ForwardSemanticPredictor(program=layout.program)
+
+    def accuracy_over(streams_list):
+        stats = None
+        for streams in streams_list:
+            trace = run_program(layout.program, inputs=streams,
+                                trace=True).trace
+            part = simulate(predictor, trace)
+            stats = part if stats is None else stats.merge(part)
+        return stats.accuracy
+
+    return accuracy_over(train), accuracy_over(test)
+
+
+def test_cross_validation_ablation(runner, all_runs, benchmark):
+    scale = bench_scale()
+
+    def kernel():
+        return {name: _split_accuracy(name, scale) for name in BENCHMARKS}
+
+    results = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print("\nFS cross-validation (profile on half the runs)")
+    print("benchmark      seen-inputs   unseen-inputs")
+    for name, (seen, unseen) in results.items():
+        print("%-12s %12.4f  %14.4f" % (name, seen, unseen))
+
+    seen_avg = mean(seen for seen, _ in results.values())
+    unseen_avg = mean(unseen for _, unseen in results.values())
+    print("average      %12.4f  %14.4f" % (seen_avg, unseen_avg))
+
+    # Profile-based prediction generalises: unseen-input accuracy stays
+    # high and within a few points of the seen-input accuracy.
+    assert unseen_avg > 0.85
+    assert unseen_avg > seen_avg - 0.05

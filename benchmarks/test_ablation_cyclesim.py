@@ -1,0 +1,61 @@
+"""Ablation: the analytic cost equation vs the cycle-level simulator.
+
+The paper evaluates with ``cost = A + (k + l_bar + m_bar)(1 - A)``.
+We run the same traces through the cycle simulator (per-class squash
+penalties, no averaging) and check the equation predicts the simulated
+cycles/branch once its averaged penalties are chosen consistently —
+the model-validation ablation from DESIGN.md.
+"""
+
+from repro.experiments.report import mean
+from repro.pipeline import CycleSimulator, PipelineConfig, branch_cost
+from repro.predictors import CounterBTB, SimpleBTB, simulate
+from repro.vm.tracing import BranchClass
+
+CONFIGS = [PipelineConfig(1, 1, 1), PipelineConfig(2, 2, 2),
+           PipelineConfig(2, 4, 4)]
+
+
+def _compare(run, config, make_predictor):
+    simulated = CycleSimulator(config, make_predictor()).run(run.trace)
+
+    stats = simulate(make_predictor(), run.trace)
+    # Choose the equation's averaged penalty from the actual class mix
+    # of mispredictions, as the paper's m_bar = f_cond * m does.
+    wrong = stats.total - stats.correct
+    if wrong == 0:
+        return simulated.cost_per_branch, 1.0
+    cond_wrong = (stats.by_class_total.get(BranchClass.CONDITIONAL, 0)
+                  - stats.by_class_correct.get(BranchClass.CONDITIONAL, 0))
+    f_cond_wrong = cond_wrong / wrong
+    # The paper's flush penalty k + l_bar + m_bar covers the
+    # mispredicted branch's own issue slot as well as the squashed
+    # instructions, so it exceeds the simulator's squash count by one.
+    penalty = 1 + (config.k + config.l) + f_cond_wrong * config.m
+    analytic = branch_cost(stats.accuracy, k=penalty, l_bar=0, m_bar=0)
+    return simulated.cost_per_branch, analytic
+
+
+def test_cost_model_matches_cycle_simulation(runner, all_runs, benchmark):
+    def kernel():
+        rows = []
+        for name, run in all_runs.items():
+            for config in CONFIGS:
+                for make in (SimpleBTB, CounterBTB):
+                    simulated, analytic = _compare(run, config, make)
+                    rows.append((name, config.flush_penalty,
+                                 simulated, analytic))
+        return rows
+
+    rows = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print("\nCost model vs cycle simulation (cycles/branch)")
+    errors = []
+    for name, flush, simulated, analytic in rows:
+        errors.append(abs(simulated - analytic))
+    print("  %d comparisons, max |error| = %.2e, mean = %.2e"
+          % (len(rows), max(errors), mean(errors)))
+
+    # With consistently chosen averages the equation is exact for the
+    # ideal pipeline (same arithmetic, different factoring).
+    assert max(errors) < 1e-9

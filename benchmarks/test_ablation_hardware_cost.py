@@ -1,0 +1,46 @@
+"""Ablation: the silicon argument, quantified.
+
+"Since the silicon real estate is expensive ... schemes that address
+the branch problem for processors implemented in VLSI should use
+little or no hardware support."  We price each scheme's storage at the
+paper's design points: BTB bits on-chip vs the Forward Semantic's
+extra instruction-memory bits (its forward slots).
+"""
+
+from repro.experiments.paper_values import BENCHMARKS
+from repro.experiments.report import mean
+from repro.pipeline import compare_storage
+from repro.traceopt import fill_forward_slots
+
+
+def test_hardware_cost_ablation(runner, all_runs, benchmark):
+    def kernel():
+        rows = {}
+        for name, run in all_runs.items():
+            for k in (1, 2, 4, 8):
+                _, report = fill_forward_slots(run.fs_program, k)
+                rows[(name, k)] = compare_storage(report, entries=256, k=k)
+        return rows
+
+    rows = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print("\nStorage cost at 256 entries (kbits), suite average")
+    print("  k    SBTB on-chip   CBTB on-chip   FS instr-mem")
+    for k in (1, 2, 4, 8):
+        sbtb = rows[(BENCHMARKS[0], k)]["SBTB"].on_chip_bits / 1000
+        cbtb = rows[(BENCHMARKS[0], k)]["CBTB"].on_chip_bits / 1000
+        fs = mean(rows[(name, k)]["FS"].instruction_memory_bits
+                  for name in BENCHMARKS) / 1000
+        print("  %d   %12.1f   %12.1f   %12.1f" % (k, sbtb, cbtb, fs))
+
+    for (name, k), costs in rows.items():
+        # FS never uses on-chip prediction storage.
+        assert costs["FS"].on_chip_bits == 0
+        # BTB silicon grows linearly with k ("increase linearly with
+        # k", the paper's last paragraph).
+        if k > 1:
+            shallow = rows[(name, 1)]["SBTB"].on_chip_bits
+            assert costs["SBTB"].on_chip_bits > shallow
+        # For these programs, the FS's entire memory cost is below the
+        # BTB's on-chip cost at every k.
+        assert costs["FS"].total_bits < costs["SBTB"].on_chip_bits, (name, k)

@@ -1,0 +1,48 @@
+"""Ablation: forward-slot policy variants.
+
+Two knobs DESIGN.md calls out:
+
+* ``fill_unconditional`` — also reserving slots after direct jumps
+  (covering their fetch refill at extra code-size cost; the paper's
+  Table 5 accounts only predicted-taken conditionals);
+* slot utilisation — how much of the reserved space holds real copies
+  vs NO-OP padding, which bounds how well slots mask the refill.
+"""
+
+from repro.experiments.paper_values import BENCHMARKS
+from repro.experiments.report import mean
+from repro.traceopt import fill_forward_slots
+
+
+def test_slot_policy_ablation(runner, all_runs, benchmark):
+    def kernel():
+        rows = {}
+        for name, run in all_runs.items():
+            _, base = fill_forward_slots(run.fs_program, 4)
+            _, with_jumps = fill_forward_slots(run.fs_program, 4,
+                                               fill_unconditional=True)
+            utilisation = (base.copied_instructions
+                           / max(1, base.copied_instructions
+                                 + base.padding_nops))
+            rows[name] = (base.expansion_fraction,
+                          with_jumps.expansion_fraction, utilisation)
+        return rows
+
+    rows = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print("\nSlot policy ablation (k+l = 4)")
+    print("benchmark   cond-only   +jumps   slot utilisation")
+    for name in BENCHMARKS:
+        base, jumps, utilisation = rows[name]
+        print("%-10s   %6.2f%%  %6.2f%%            %5.1f%%"
+              % (name, 100 * base, 100 * jumps, 100 * utilisation))
+
+    for name, (base, jumps, utilisation) in rows.items():
+        # Covering jumps always costs at least as much code.
+        assert jumps >= base - 1e-12
+        # Slots are mostly useful copies, not padding.
+        assert utilisation >= 0.45, name
+    # Suite-wide, jump coverage costs noticeably more code — the
+    # reason the paper reserves slots only for likely conditionals.
+    assert mean(j for _, j, _ in rows.values()) > \
+        mean(b for b, _, _ in rows.values())

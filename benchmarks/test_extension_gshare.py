@@ -1,0 +1,85 @@
+"""Extension: where hardware prediction went after 1989.
+
+The paper's conclusion calls for new solutions to the branch problem;
+two-level adaptive prediction (Yeh-Patt, gshare) is what the hardware
+side delivered.  This extension bench runs gshare on the paper's
+methodology to show (a) history-based hardware eventually overtakes
+both 1989 schemes and the profile bits, and (b) it still loses its
+state on context switches — the Forward Semantic's robustness argument
+survives.
+"""
+
+from repro.experiments.report import mean
+from repro.predictors import (
+    Bimodal,
+    CounterBTB,
+    ForwardSemanticPredictor,
+    GShare,
+    Tournament,
+    simulate,
+)
+
+HISTORY_BITS = (0, 4, 8, 12)
+
+
+def test_gshare_extension(runner, all_runs, benchmark):
+    def kernel():
+        rows = {}
+        for name, run in all_runs.items():
+            cbtb = simulate(CounterBTB(), run.trace).accuracy
+            fs = simulate(ForwardSemanticPredictor(program=run.fs_program),
+                          run.trace).accuracy
+            gshares = {
+                bits: simulate(GShare(history_bits=bits, table_bits=14),
+                               run.trace).accuracy
+                for bits in HISTORY_BITS
+            }
+            bimodal = simulate(Bimodal(table_bits=14), run.trace).accuracy
+            tournament = simulate(
+                Tournament(first=Bimodal(table_bits=14),
+                           second=GShare(history_bits=12, table_bits=14)),
+                run.trace).accuracy
+            rows[name] = (cbtb, fs, gshares, bimodal, tournament)
+        return rows
+
+    rows = benchmark.pedantic(kernel, rounds=1, iterations=1)
+
+    print("\npredictor lineage extension (overall accuracy)")
+    header = ("benchmark      CBTB       FS  " + "".join(
+        "  gs(h=%d)" % bits for bits in HISTORY_BITS)
+        + "  bimodal  tournament")
+    print(header)
+    for name, (cbtb, fs, gshares, bimodal, tournament) in rows.items():
+        print("%-12s %7.4f  %7.4f" % (name, cbtb, fs)
+              + "".join("  %7.4f" % gshares[bits] for bits in HISTORY_BITS)
+              + "  %7.4f  %9.4f" % (bimodal, tournament))
+
+    cbtb_avg = mean(row[0] for row in rows.values())
+    fs_avg = mean(row[1] for row in rows.values())
+    best_gshare_avg = max(
+        mean(row[2][bits] for row in rows.values())
+        for bits in HISTORY_BITS)
+    bimodal_avg = mean(row[3] for row in rows.values())
+    tournament_avg = mean(row[4] for row in rows.values())
+    print("averages: CBTB %.4f, FS %.4f, best gshare %.4f, "
+          "bimodal %.4f, tournament %.4f"
+          % (cbtb_avg, fs_avg, best_gshare_avg, bimodal_avg,
+             tournament_avg))
+
+    # The lineage makes sense: the tagless bimodal table roughly
+    # matches the tagged CBTB; the tournament at least matches the
+    # better of its components on average.
+    assert abs(bimodal_avg - cbtb_avg) < 0.03
+    assert tournament_avg >= max(bimodal_avg, best_gshare_avg) - 0.01
+
+    # History-based prediction overtakes the 1989 schemes on average.
+    assert best_gshare_avg > cbtb_avg - 0.005
+    assert best_gshare_avg > fs_avg - 0.01
+
+    # ... but a context switch still wipes it, unlike the FS.
+    sample = next(iter(all_runs.values()))
+    flushed = simulate(GShare(history_bits=8, table_bits=14), sample.trace,
+                       flush_interval=5_000).accuracy
+    unflushed = simulate(GShare(history_bits=8, table_bits=14),
+                         sample.trace).accuracy
+    assert flushed <= unflushed + 1e-9

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figures 3 and 4 (cost vs l_bar + m_bar)."""
+
+from repro.experiments import figures
+from repro.experiments.paper_values import BENCHMARKS
+
+
+def test_figures(runner, all_runs, benchmark):
+    data = benchmark.pedantic(figures.compute, args=(runner, BENCHMARKS),
+                              rounds=3, iterations=1)
+    print()
+    print(figures.render(runner, BENCHMARKS))
+
+    for k, series in data.items():
+        for scheme, points in series.items():
+            costs = [cost for _, cost in points]
+            # Linear growth: constant increments.
+            deltas = [b - a for a, b in zip(costs, costs[1:])]
+            assert max(deltas) - min(deltas) < 1e-9, (k, scheme)
+
+    # Paper: "as the length of the instruction fetch pipeline grows,
+    # the difference between the three architectures increases as does
+    # the overall branch cost."
+    def gap(k, lm_index):
+        series = data[k]
+        worst = max(points[lm_index][1] for points in series.values())
+        best = min(points[lm_index][1] for points in series.values())
+        return worst - best
+
+    for lm_index in (0, 4, 9):
+        assert data[8]["FS"][lm_index][1] >= data[1]["FS"][lm_index][1]
+        assert gap(8, lm_index) >= gap(1, lm_index)
+
+    # Increasing l_bar + m_bar also widens the gaps.
+    assert gap(2, 9) >= gap(2, 0)

@@ -1,0 +1,24 @@
+"""Benchmark: the abstract's headline cycles/branch comparison."""
+
+from repro.experiments import headline
+from repro.experiments.paper_values import BENCHMARKS
+
+
+def test_headline(runner, all_runs, benchmark):
+    results = benchmark.pedantic(headline.compute, args=(runner, BENCHMARKS),
+                                 rounds=3, iterations=1)
+    print()
+    print(headline.render(runner, BENCHMARKS))
+
+    moderate = results["5-stage"]
+    deep = results["11-stage"]
+
+    # Paper: FS 1.19 vs 1.23 (5-stage), 1.65 vs 1.68 (11-stage) — the
+    # software scheme matches or beats the best hardware scheme.  Our
+    # substrate differs, so assert competitiveness within 5%.
+    assert moderate["FS"] <= moderate["best-hardware"] * 1.05
+    assert deep["FS"] <= deep["best-hardware"] * 1.05
+
+    # Magnitudes live in the paper's band.
+    assert 1.0 < moderate["FS"] < 1.5
+    assert 1.3 < deep["FS"] < 2.2

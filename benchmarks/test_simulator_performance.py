@@ -1,0 +1,78 @@
+"""Performance benchmarks of the simulation infrastructure itself.
+
+Not a paper experiment: these keep the reproduction usable by tracking
+the throughput of the VM interpreter, the predictor simulators, and
+the FS compiler passes — the costs that gate paper-scale runs.
+"""
+
+from repro.benchmarksuite import compile_benchmark, get_benchmark
+from repro.predictors import CounterBTB, SimpleBTB, simulate
+from repro.traceopt import build_fs_program, fill_forward_slots
+from repro.profiling import profile_program
+from repro.vm import Machine
+
+
+def test_vm_throughput(benchmark):
+    """Instructions per second of the interpreter on compress."""
+    program = compile_benchmark("compress")
+    spec = get_benchmark("compress")
+    streams = spec.inputs_for_run(0, scale=0.1)
+
+    def run():
+        return Machine(program, inputs=streams).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = result.instructions / benchmark.stats.stats.mean
+    print("\nVM throughput: %.0f instructions/second "
+          "(%d instructions per run)" % (rate, result.instructions))
+    assert rate > 100_000  # the floor that keeps paper-scale runs sane
+
+
+def test_vm_tracing_overhead(benchmark):
+    """Tracing must not cost more than ~2x plain execution."""
+    program = compile_benchmark("wc")
+    spec = get_benchmark("wc")
+    streams = spec.inputs_for_run(0, scale=0.1)
+
+    import time
+    start = time.perf_counter()
+    Machine(program, inputs=streams).run()
+    plain = time.perf_counter() - start
+
+    def traced():
+        return Machine(program, inputs=streams, trace=True).run()
+
+    result = benchmark.pedantic(traced, rounds=3, iterations=1)
+    traced_time = benchmark.stats.stats.min
+    print("\nplain %.4fs vs traced %.4fs" % (plain, traced_time))
+    assert result.trace is not None
+    assert traced_time < plain * 3 + 0.05
+
+
+def test_predictor_throughput(benchmark, runner, all_runs):
+    """Branch records per second through the SBTB + CBTB simulators."""
+    largest = max(all_runs.values(), key=lambda run: len(run.trace))
+
+    def run():
+        simulate(SimpleBTB(), largest.trace)
+        simulate(CounterBTB(), largest.trace)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = 2 * len(largest.trace) / benchmark.stats.stats.mean
+    print("\npredictor throughput: %.0f records/second" % rate)
+    assert rate > 50_000
+
+
+def test_fs_compile_pipeline_latency(benchmark):
+    """Profile + layout + slot filling end to end on one benchmark."""
+    program = compile_benchmark("yacc")
+    spec = get_benchmark("yacc")
+    suite = spec.input_suite(scale=0.05, runs=2)
+
+    def pipeline():
+        profile, _ = profile_program(program, suite)
+        layout = build_fs_program(program, profile)
+        return fill_forward_slots(layout.program, 4)
+
+    expanded, report = benchmark.pedantic(pipeline, rounds=3, iterations=1)
+    assert report.expanded_size > 0

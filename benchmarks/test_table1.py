@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 1 (benchmark characteristics)."""
+
+from repro.experiments import table1
+from repro.experiments.paper_values import BENCHMARKS
+
+
+def test_table1(runner, all_runs, benchmark):
+    data = benchmark.pedantic(table1.compute, args=(runner, BENCHMARKS),
+                              rounds=3, iterations=1)
+    print()
+    print(table1.render(runner, BENCHMARKS))
+
+    assert len(data.rows) == 10
+    for row in data.rows:
+        name, lines, runs, instructions, control = row[:5]
+        assert lines > 10
+        assert runs >= 2
+        assert instructions > 1000
+        # The paper's Table 1 observation: roughly one branch per
+        # three to five instructions -> control fraction 10..45%.
+        assert 5.0 <= control <= 45.0, (name, control)

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table 2 (branch statistics)."""
+
+from repro.experiments import table2
+from repro.experiments.paper_values import BENCHMARKS
+
+
+def test_table2(runner, all_runs, benchmark):
+    data = benchmark.pedantic(table2.compute, args=(runner, BENCHMARKS),
+                              rounds=3, iterations=1)
+    print()
+    print(table2.render(runner, BENCHMARKS))
+
+    average = data.rows[-1]
+    assert average[0] == "Average"
+    taken_avg, known_avg = average[1], average[3]
+    # Paper: on average 61% of conditional branches are NOT taken, and
+    # ~98% of unconditional branches have known targets.
+    assert taken_avg < 50.0
+    assert known_avg > 90.0
+    # cccp is the unknown-target outlier; everything else is ~100%.
+    by_name = {row[0]: row for row in data.rows}
+    assert by_name["cccp"][4] > 0.0
+    for name in BENCHMARKS:
+        if name != "cccp":
+            assert by_name[name][4] < 5.0, name

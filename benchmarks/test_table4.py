@@ -1,0 +1,44 @@
+"""Benchmark: regenerate Table 4 (branch cost at two pipeline points)."""
+
+from repro.experiments import table4
+from repro.experiments.paper_values import BENCHMARKS
+from repro.experiments.report import mean
+
+
+def test_table4(runner, all_runs, benchmark):
+    data = benchmark.pedantic(table4.compute, args=(runner, BENCHMARKS),
+                              rounds=3, iterations=1)
+    print()
+    print(table4.render(runner, BENCHMARKS))
+
+    rows = {row[0]: row for row in data.rows}
+    for name in BENCHMARKS:
+        row = rows[name]
+        # Costs grow with pipeline depth for every scheme.
+        assert row[4] > row[1] - 1e-9
+        assert row[5] > row[2] - 1e-9
+        assert row[6] > row[3] - 1e-9
+        # Costs stay in the paper's band (1.0 .. ~1.7).
+        for cost in row[1:7]:
+            assert 1.0 <= cost < 2.0, (name, cost)
+
+    average = rows["Average"]
+    # The paper's conclusion at these design points: FS has the lowest
+    # average branch cost of the three schemes.
+    fs_2, fs_3 = average[3], average[6]
+    assert fs_2 <= average[1] + 0.02       # vs SBTB @ k+l=2
+    assert fs_3 <= average[4] + 0.02       # vs SBTB @ k+l=3
+    assert fs_2 <= average[2] + 0.03       # vs CBTB @ k+l=2
+    assert fs_3 <= average[5] + 0.03       # vs CBTB @ k+l=3
+
+
+def test_table4_scaling_claim(runner, all_runs, benchmark):
+    """Paper: FS reacts best to deeper pipelining (5.3% vs 6.9% CBTB
+    vs 7.7% SBTB average cost increase from k+l=2 to 3)."""
+    increases = benchmark.pedantic(table4.scaling_increase,
+                                   args=(runner, BENCHMARKS),
+                                   rounds=3, iterations=1)
+    print("\nscaling increases: %r" % increases)
+    assert increases["FS"] <= increases["SBTB"]
+    for value in increases.values():
+        assert 0.0 < value < 20.0

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 5 (forward-slot code expansion).
+
+The timed kernel is the slot-filling pass itself at k+l = 8 over the
+largest laid-out program.
+"""
+
+from repro.experiments import table5
+from repro.experiments.paper_values import TABLE5_BENCHMARKS
+from repro.traceopt import fill_forward_slots
+
+
+def test_table5_fill_kernel(runner, all_runs, benchmark):
+    largest = max(all_runs.values(), key=lambda run: len(run.fs_program))
+    expanded, report = benchmark.pedantic(
+        fill_forward_slots, args=(largest.fs_program, 8),
+        rounds=3, iterations=1)
+    assert report.expanded_size == len(expanded)
+
+
+def test_table5_shape(runner, all_runs, benchmark):
+    print()
+    print(table5.render(runner, TABLE5_BENCHMARKS))
+    data = benchmark.pedantic(table5.compute, args=(runner, TABLE5_BENCHMARKS),
+                              rounds=3, iterations=1)
+    rows = {row[0]: row for row in data.rows}
+
+    for name in TABLE5_BENCHMARKS:
+        one, two, four, eight = rows[name][1:5]
+        # Growth is linear in k+l (the paper's "increase linearly").
+        assert abs(two - 2 * one) < 0.2
+        assert abs(eight - 8 * one) < 0.5
+        # Magnitudes in the paper's band: ~1-8% at k+l=1.
+        assert 0.0 < one < 10.0, (name, one)
+
+    average = rows["Average"]
+    # Paper calls the k+l=4 average (14.12%) "moderate"; ours must be
+    # in the same regime, and well under the k+l=8 blow-up.
+    assert average[3] < 30.0
+    assert average[4] < 60.0

@@ -1,0 +1,65 @@
+"""Pipeline design-space exploration.
+
+The paper's Figures 3-4 fix the suite-average accuracies and sweep the
+pipeline.  This example does the full two-dimensional sweep — fetch
+depth k against decode+execute penalty l_bar+m_bar — and prints, for
+every design point, which scheme prices branches cheapest and by what
+margin, reproducing the paper's conclusion that the software scheme
+wins across the space while spending no silicon.
+
+Run with::
+
+    python examples/design_space.py [--scale 0.05]
+"""
+
+import argparse
+
+from repro import SuiteRunner, branch_cost
+from repro.experiments import table3
+
+KS = (1, 2, 4, 8)
+LMS = (0, 1, 2, 4, 6, 8)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="benchmark input scale (default tiny)")
+    parser.add_argument("--benchmarks", nargs="*",
+                        default=["wc", "grep", "compress", "yacc"])
+    args = parser.parse_args()
+
+    runner = SuiteRunner(scale=args.scale)
+    accuracies = table3.average_accuracies(runner, args.benchmarks)
+    print("suite-average accuracies over %s:" % ", ".join(args.benchmarks))
+    for scheme, accuracy in accuracies.items():
+        print("  %-5s %.4f" % (scheme, accuracy))
+
+    print("\nwinner (and its cycles/branch) per design point:")
+    header = "  k\\l+m " + "".join("%14d" % lm for lm in LMS)
+    print(header)
+    for k in KS:
+        cells = []
+        for lm in LMS:
+            costs = {
+                scheme: branch_cost(accuracy, k=k, l_bar=lm, m_bar=0.0)
+                for scheme, accuracy in accuracies.items()
+            }
+            winner = min(costs, key=costs.get)
+            cells.append("%6s %6.2f" % (winner, costs[winner]))
+        print("  %5d " % k + " ".join(cells))
+
+    print("\nFS margin over the best hardware scheme (negative = FS wins):")
+    for k in KS:
+        margins = []
+        for lm in LMS:
+            fs = branch_cost(accuracies["FS"], k=k, l_bar=lm, m_bar=0.0)
+            hardware = min(
+                branch_cost(accuracies[scheme], k=k, l_bar=lm, m_bar=0.0)
+                for scheme in ("SBTB", "CBTB"))
+            margins.append("%+13.3f" % (fs - hardware))
+        print("  k=%d  %s" % (k, " ".join(margins)))
+
+
+if __name__ == "__main__":
+    main()

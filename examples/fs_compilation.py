@@ -1,0 +1,101 @@
+"""Watch the Forward Semantic compiler work on a program.
+
+Compiles a small string-searching program (a grep-like inner loop),
+profiles it, and shows each stage of the software scheme:
+
+* the selected traces and their weights,
+* the laid-out code with likely-taken bits,
+* the forward-slot expansion at several pipeline depths (Table 5 in
+  miniature), with the slot contents disassembled,
+* proof that the transformed code still behaves identically, executed
+  with real forward-slot semantics.
+
+Run with::
+
+    python examples/fs_compilation.py
+"""
+
+from repro.isa import disassemble
+from repro.lang import compile_source
+from repro.profiling import profile_program
+from repro.traceopt import build_fs_program, fill_forward_slots
+from repro.vm import run_program
+
+SOURCE = """
+int text[512];
+int text_len;
+
+int count_occurrences(int a, int b) {
+    int i; int hits = 0;
+    for (i = 0; i + 1 < text_len; i = i + 1)
+        if (text[i] == a && text[i + 1] == b) hits = hits + 1;
+    return hits;
+}
+
+int main() {
+    int c;
+    c = getc(0);
+    while (c != -1) {
+        if (text_len < 512) { text[text_len] = c; text_len = text_len + 1; }
+        c = getc(0);
+    }
+    puti(count_occurrences('t', 'h')); putc(' ');
+    puti(count_occurrences('e', 'e')); putc('\\n');
+    return 0;
+}
+"""
+
+INPUTS = [
+    [b"the quick brown fox thinks these themes are threadbare"],
+    [b"feet meet sweet sheets; the thaw then thins the throng"],
+]
+
+
+def main():
+    program = compile_source(SOURCE, name="occurrences")
+    print("=== base program: %d instructions ===" % len(program))
+
+    profile, outputs = profile_program(program, INPUTS)
+    layout = build_fs_program(program, profile)
+
+    print("\n=== selected traces (weight-ordered) ===")
+    for trace, span in zip(layout.traces, layout.trace_spans):
+        print("  weight %-8d blocks %-24s -> addresses [%d, %d)"
+              % (trace.weight, trace.blocks, span[0], span[1]))
+
+    likely = [address for address, bit in layout.likely_sites.items() if bit]
+    print("\n=== likely-taken conditional branches: %s ===" % likely)
+
+    print("\n=== forward-slot expansion (Table 5 in miniature) ===")
+    for n_slots in (1, 2, 4, 8):
+        expanded, report = fill_forward_slots(layout.program, n_slots)
+        print("  k+l=%d: %3d -> %3d instructions (+%.2f%%), "
+              "%d copies + %d no-ops"
+              % (n_slots, report.original_size, report.expanded_size,
+                 100 * report.expansion_fraction,
+                 report.copied_instructions, report.padding_nops))
+
+    expanded, _ = fill_forward_slots(layout.program, 2)
+    print("\n=== a slotted branch and its forward slots ===")
+    text = disassemble(expanded).splitlines()
+    for index, instr in enumerate(expanded.instructions):
+        if instr.is_conditional and instr.n_slots:
+            window = [line for line in text
+                      if not line.endswith(":")][index:index + 3]
+            for line in window:
+                print("   ", line.strip())
+            break
+
+    print("\n=== semantic check: slot-mode execution matches ===")
+    for streams, expected in zip(INPUTS, outputs):
+        executed = run_program(expanded, inputs=streams,
+                               slot_mode="execute")
+        status = "OK" if executed.output == expected else "MISMATCH"
+        print("  input %r...: %s (%s)"
+              % (bytes(streams[0][:20]), executed.output.decode().strip(),
+                 status))
+        assert executed.output == expected
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Reproduction of Hwu, Conte & Chang, "Comparing Software and Hardware
+Schemes For Reducing the Cost of Branches" (ISCA 1989).
+
+Quick start::
+
+    from repro import SuiteRunner
+    from repro.experiments import table3
+
+    runner = SuiteRunner(scale=0.1)
+    print(table3.render(runner))
+
+Package map:
+
+* :mod:`repro.isa` — the intermediate instruction set.
+* :mod:`repro.lang` — the Minic compiler (the IMPACT stand-in).
+* :mod:`repro.vm` — the tracing functional simulator.
+* :mod:`repro.cfg` — control-flow graphs over programs.
+* :mod:`repro.profiling` — basic-block probe profiling.
+* :mod:`repro.traceopt` — trace selection, layout, forward slots.
+* :mod:`repro.predictors` — SBTB, CBTB, FS, static baselines.
+* :mod:`repro.pipeline` — the cost model and a cycle simulator.
+* :mod:`repro.benchmarksuite` — the ten Unix benchmarks in Minic.
+* :mod:`repro.experiments` — Tables 1-5 and Figures 3-4.
+"""
+
+from repro.experiments.runner import SuiteRunner
+from repro.lang import compile_source
+from repro.pipeline import PipelineConfig, branch_cost
+from repro.predictors import (
+    CounterBTB,
+    ForwardSemanticPredictor,
+    SimpleBTB,
+    simulate,
+)
+from repro.vm import run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SuiteRunner",
+    "compile_source",
+    "run_program",
+    "PipelineConfig",
+    "branch_cost",
+    "SimpleBTB",
+    "CounterBTB",
+    "ForwardSemanticPredictor",
+    "simulate",
+    "__version__",
+]

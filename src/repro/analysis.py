@@ -1,0 +1,54 @@
+"""Instruction-mix analysis.
+
+Static and dynamic opcode mixes of a program.  The dynamic mix needs
+no VM support: the fetch stream reconstructed from a (single-run)
+branch trace visits every executed address, so counting opcodes over
+its segments is exact — and far cheaper than instrumenting the
+interpreter loop.
+"""
+
+from collections import Counter
+
+from repro.pipeline.fetch_stream import fetch_segments
+
+
+def static_opcode_mix(program):
+    """Counter of opcodes over the program text."""
+    return Counter(instr.op for instr in program.instructions)
+
+
+def dynamic_opcode_mix(program, trace, entry=None, validate=True):
+    """Counter of opcodes over one run's executed instructions.
+
+    Args:
+        program: the program the trace came from.
+        trace: a single-run :class:`~repro.vm.tracing.BranchTrace`.
+        entry: start address (defaults to the program entry).
+        validate: check trace consistency while reconstructing.
+    """
+    if entry is None:
+        entry = program.entry
+    instructions = program.instructions
+    counts = Counter()
+    for start, length in fetch_segments(trace, entry, validate=validate):
+        for address in range(start, start + length):
+            counts[instructions[address].op] += 1
+    return counts
+
+
+def mix_fractions(counts):
+    """Normalise a mix Counter to {opcode: fraction}."""
+    total = sum(counts.values())
+    if total == 0:
+        return {}
+    return {op: count / total for op, count in counts.items()}
+
+
+def summarize_mix(counts, top=10):
+    """Human-readable lines for the most frequent opcodes."""
+    total = sum(counts.values())
+    lines = []
+    for op, count in counts.most_common(top):
+        lines.append("%-8s %10d  %6.2f%%"
+                     % (op.value, count, 100.0 * count / max(1, total)))
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""The ten-benchmark Unix suite of Table 1, re-implemented in Minic.
+
+Each benchmark is a faithful miniature of the original program's
+algorithmic core — the component that generates its branch behaviour:
+
+=========  ==========================================================
+benchmark  what our Minic version does
+=========  ==========================================================
+cccp       macro preprocessor: #define/#undef/#ifdef/#else/#endif,
+           hash-table symbol lookup, identifier substitution, with a
+           jump-table character dispatch (the paper's cccp is the one
+           benchmark with many unknown-target branches)
+cmp        byte-by-byte comparison of two files, first-difference
+           report with line/offset accounting
+compress   LZW compression with a hashed string table (the real
+           compress algorithm) emitting 12-bit codes
+grep       line-oriented pattern search with a backtracking matcher
+           (literals, '.', '*', '^', '$', character classes)
+lex        table-driven lexical analyzer: a DFA over C-like source,
+           the transition table generated at build time like lex does
+make       makefile parser + dependency DAG + recursive out-of-date
+           propagation over pseudo-timestamps
+tar        block archiver: create mode writes 64-byte-block records
+           with checksums; extract mode parses and verifies them
+tee        input duplication to two "sinks" with line accounting
+wc         line/word/character counting with a state machine
+yacc       SLR(1) shift-reduce parser driving textbook action/goto
+           tables for the expression grammar, with evaluation
+eqn        equation-language parser + recursive box layout (extra
+           Table 5 row)
+espresso   Quine-McCluskey-style two-level logic minimizer over PLA
+           cube lists (extra Table 5 row)
+=========  ==========================================================
+
+Inputs are synthesised deterministically (:mod:`.inputs`) to mimic the
+paper's input descriptions (C sources of 100-3000 lines, text files,
+makefiles, grammars...).  ``scale`` multiplies input sizes so tests can
+run a tiny suite while experiments run a paper-sized one.
+"""
+
+from repro.benchmarksuite.suite import (
+    ALL_BENCHMARK_NAMES,
+    BENCHMARK_NAMES,
+    EXTRA_BENCHMARK_NAMES,
+    BenchmarkSpec,
+    compile_benchmark,
+    get_benchmark,
+)
+
+__all__ = [
+    "ALL_BENCHMARK_NAMES",
+    "BENCHMARK_NAMES",
+    "EXTRA_BENCHMARK_NAMES",
+    "BenchmarkSpec",
+    "compile_benchmark",
+    "get_benchmark",
+]

@@ -1,0 +1,9 @@
+"""The benchmark programs, one module per benchmark.
+
+Each module exports:
+
+* ``SOURCE`` — the Minic program text,
+* ``RUNS`` — how many profiling runs the suite uses,
+* ``DESCRIPTION`` — the Table 1 input description,
+* ``make_inputs(rng, run_index, scale)`` — input streams for one run.
+"""

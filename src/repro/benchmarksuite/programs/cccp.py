@@ -1,0 +1,355 @@
+"""cccp — the GNU C preprocessor's core: macros and conditionals.
+
+Handles ``#define NAME value``, ``#undef``, ``#ifdef``, ``#ifndef``,
+``#else``, ``#endif``, expands defined identifiers in program text,
+and strips ``/* */`` comments.  Symbol lookup uses an open-addressed
+hash table over an interned name pool.
+
+The scanner dispatches on a dense character-class ``switch`` that the
+compiler lowers to a jump table — an unknown-target indirect branch —
+reproducing cccp's standout Table 2 row (the one benchmark with a
+significant unknown-target fraction).
+"""
+
+from repro.benchmarksuite.inputs import c_source
+
+DESCRIPTION = "C programs (100-3000 lines)"
+RUNS = 10
+
+SOURCE = r"""
+// cccp: macro expansion + conditional compilation over stream 0.
+int name_pool[8192];     // interned name characters
+int pool_len;
+int sym_start[512];      // hash slot -> offset into name_pool, or -1
+int sym_len[512];
+int sym_value[512];      // macro replacement value (integer macros)
+int sym_defined[512];
+
+int word[128];           // current identifier
+int word_len;
+
+int cond_stack[64];      // #ifdef nesting: 1 = emitting, 0 = skipping
+int cond_top;
+
+int emitted;
+int skipped;
+int defines;
+int expansions;
+
+int hash_word() {
+    int h = 0;
+    int i;
+    for (i = 0; i < word_len; i = i + 1)
+        h = (h * 131 + word[i]) % 512;
+    return h;
+}
+
+int slot_matches(int slot) {
+    int i;
+    if (!sym_defined[slot]) return 0;
+    if (sym_len[slot] != word_len) return 0;
+    for (i = 0; i < word_len; i = i + 1)
+        if (name_pool[sym_start[slot] + i] != word[i]) return 0;
+    return 1;
+}
+
+// Find the slot for the current word; returns slot with matching name,
+// or the first free slot (linear probing).
+int find_slot() {
+    int h = hash_word();
+    int probes = 0;
+    while (probes < 512) {
+        if (!sym_defined[h]) return h;
+        if (slot_matches(h)) return h;
+        h = h + 1;
+        if (h == 512) h = 0;
+        probes = probes + 1;
+    }
+    return h;
+}
+
+int define_word(int value) {
+    int slot = find_slot();
+    int i;
+    if (!sym_defined[slot]) {
+        sym_start[slot] = pool_len;
+        sym_len[slot] = word_len;
+        for (i = 0; i < word_len; i = i + 1) {
+            name_pool[pool_len] = word[i];
+            pool_len = pool_len + 1;
+        }
+    }
+    sym_defined[slot] = 1;
+    sym_value[slot] = value;
+    defines = defines + 1;
+    return slot;
+}
+
+int undef_word() {
+    int slot = find_slot();
+    if (sym_defined[slot] && slot_matches(slot)) sym_defined[slot] = 0;
+    return 0;
+}
+
+int lookup_word() {
+    // Returns the macro value or -1 when undefined.
+    int slot = find_slot();
+    if (sym_defined[slot] && slot_matches(slot)) return sym_value[slot];
+    return -1;
+}
+
+// Character classes for the scanner's dispatch switch.
+int char_class(int c) {
+    if (c >= 'a' && c <= 'z') return 1;
+    if (c >= 'A' && c <= 'Z') return 1;
+    if (c == '_') return 1;
+    if (c >= '0' && c <= '9') return 2;
+    if (c == ' ' || c == '\t') return 3;
+    if (c == '\n') return 4;
+    if (c == '#') return 5;
+    if (c == '/') return 6;
+    if (c == '*') return 7;
+    if (c == '(' || c == ')' || c == '{' || c == '}') return 8;
+    if (c == '=' || c == '+' || c == '-' || c == '<' || c == '>') return 9;
+    if (c == ';' || c == ',') return 10;
+    return 0;
+}
+
+int emitting() {
+    int i;
+    for (i = 0; i <= cond_top; i = i + 1)
+        if (!cond_stack[i]) return 0;
+    return 1;
+}
+
+int put_word() {
+    int i;
+    for (i = 0; i < word_len; i = i + 1) putc(word[i]);
+    return 0;
+}
+
+// Directive codes.
+int directive_code() {
+    // Identify the directive in word[]: 1 define, 2 undef, 3 ifdef,
+    // 4 ifndef, 5 else, 6 endif, 0 other (include, pragma, ...).
+    if (word_len == 6 && word[0] == 'd' && word[1] == 'e' && word[2] == 'f'
+        && word[3] == 'i' && word[4] == 'n' && word[5] == 'e') return 1;
+    if (word_len == 5 && word[0] == 'u' && word[1] == 'n' && word[2] == 'd'
+        && word[3] == 'e' && word[4] == 'f') return 2;
+    if (word_len == 5 && word[0] == 'i' && word[1] == 'f' && word[2] == 'd'
+        && word[3] == 'e' && word[4] == 'f') return 3;
+    if (word_len == 6 && word[0] == 'i' && word[1] == 'f' && word[2] == 'n'
+        && word[3] == 'd' && word[4] == 'e' && word[5] == 'f') return 4;
+    if (word_len == 4 && word[0] == 'e' && word[1] == 'l' && word[2] == 's'
+        && word[3] == 'e') return 5;
+    if (word_len == 5 && word[0] == 'e' && word[1] == 'n' && word[2] == 'd'
+        && word[3] == 'i' && word[4] == 'f') return 6;
+    return 0;
+}
+
+int pending;             // one-character pushback, -1 when empty
+
+int next_char() {
+    int c;
+    if (pending != -1) { c = pending; pending = -1; return c; }
+    return getc(0);
+}
+
+int read_word(int first) {
+    int c;
+    int cls;
+    word_len = 0;
+    word[0] = first;
+    word_len = 1;
+    c = next_char();
+    cls = char_class(c);
+    while (cls == 1 || cls == 2) {
+        if (word_len < 127) { word[word_len] = c; word_len = word_len + 1; }
+        c = next_char();
+        cls = char_class(c);
+    }
+    pending = c;
+    return word_len;
+}
+
+int read_number(int first) {
+    int value = first - '0';
+    int c = next_char();
+    while (c >= '0' && c <= '9') {
+        value = value * 10 + (c - '0');
+        c = next_char();
+    }
+    pending = c;
+    return value;
+}
+
+int skip_spaces() {
+    int c = next_char();
+    while (c == ' ' || c == '\t') c = next_char();
+    pending = c;
+    return 0;
+}
+
+int handle_directive() {
+    int code; int value; int c; int defined_flag;
+    skip_spaces();
+    c = next_char();
+    if (char_class(c) != 1) { pending = c; return 0; }
+    read_word(c);
+    code = directive_code();
+    if (code == 1) {            // #define NAME [value]
+        skip_spaces();
+        c = next_char();
+        if (char_class(c) == 1) {
+            read_word(c);
+            skip_spaces();
+            c = next_char();
+            value = 1;
+            if (c >= '0' && c <= '9') value = read_number(c);
+            else pending = c;
+            if (emitting()) define_word(value);
+        } else pending = c;
+    } else if (code == 2) {     // #undef NAME
+        skip_spaces();
+        c = next_char();
+        if (char_class(c) == 1) {
+            read_word(c);
+            if (emitting()) undef_word();
+        } else pending = c;
+    } else if (code == 3 || code == 4) {   // #ifdef / #ifndef
+        skip_spaces();
+        c = next_char();
+        defined_flag = 0;
+        if (char_class(c) == 1) {
+            read_word(c);
+            if (lookup_word() != -1) defined_flag = 1;
+        } else pending = c;
+        cond_top = cond_top + 1;
+        if (code == 3) cond_stack[cond_top] = defined_flag;
+        else cond_stack[cond_top] = !defined_flag;
+    } else if (code == 5) {     // #else
+        if (cond_top > 0) cond_stack[cond_top] = !cond_stack[cond_top];
+    } else if (code == 6) {     // #endif
+        if (cond_top > 0) cond_top = cond_top - 1;
+    }
+    // Discard the rest of the directive line.
+    c = next_char();
+    while (c != -1 && c != '\n') c = next_char();
+    pending = c;
+    return code;
+}
+
+int skip_comment() {
+    // Inside "/*": consume until "*/".
+    int c = next_char();
+    while (c != -1) {
+        if (c == '*') {
+            c = next_char();
+            if (c == '/') return 0;
+        } else {
+            c = next_char();
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int c; int cls; int value; int at_line_start;
+
+    pending = -1;
+    cond_stack[0] = 1;
+    cond_top = 0;
+    at_line_start = 1;
+
+    c = next_char();
+    while (c != -1) {
+        cls = char_class(c);
+        switch (cls) {
+            case 1:  // identifier: expand if defined
+                read_word(c);
+                if (emitting()) {
+                    value = lookup_word();
+                    if (value != -1) {
+                        puti(value);
+                        expansions = expansions + 1;
+                    } else {
+                        put_word();
+                    }
+                    emitted = emitted + word_len;
+                } else skipped = skipped + word_len;
+                at_line_start = 0;
+                break;
+            case 2:  // number: copy
+                if (emitting()) { putc(c); emitted = emitted + 1; }
+                else skipped = skipped + 1;
+                at_line_start = 0;
+                break;
+            case 3:  // blanks keep line-start status
+                if (emitting()) { putc(c); emitted = emitted + 1; }
+                break;
+            case 4:  // newline
+                if (emitting()) { putc(c); emitted = emitted + 1; }
+                at_line_start = 1;
+                break;
+            case 5:  // '#'
+                if (at_line_start) handle_directive();
+                else if (emitting()) { putc(c); emitted = emitted + 1; }
+                break;
+            case 6:  // '/': maybe a comment
+                value = next_char();
+                if (value == '*') { skip_comment(); }
+                else {
+                    pending = value;
+                    if (emitting()) { putc(c); emitted = emitted + 1; }
+                }
+                at_line_start = 0;
+                break;
+            case 7:
+            case 8:
+            case 9:
+            case 10:
+            default:
+                if (emitting()) { putc(c); emitted = emitted + 1; }
+                at_line_start = 0;
+                break;
+        }
+        c = next_char();
+    }
+
+    putc('\n');
+    puti(emitted); putc(' ');
+    puti(skipped); putc(' ');
+    puti(defines); putc(' ');
+    puti(expansions); putc('\n');
+    return 0;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_lines = max(15, int((150 + rng.next_int(600)) * scale))
+    source = c_source(rng, n_lines)
+    # Sprinkle in conditional-compilation regions so the #ifdef stack
+    # and #else/#endif paths run.
+    lines = source.decode("ascii").splitlines()
+    decorated = []
+    open_regions = 0
+    for index, line in enumerate(lines):
+        if rng.chance(1, 12):
+            name = "FEATURE%d" % rng.next_int(6)
+            if rng.chance(1, 2):
+                decorated.append("#define %s %d" % (name, rng.next_int(100)))
+            else:
+                directive = "#ifdef" if rng.chance(1, 2) else "#ifndef"
+                decorated.append("%s %s" % (directive, name))
+                open_regions += 1
+        decorated.append(line)
+        if open_regions and rng.chance(1, 6):
+            if rng.chance(1, 3):
+                decorated.append("#else")
+            decorated.append("#endif")
+            open_regions -= 1
+    while open_regions:
+        decorated.append("#endif")
+        open_regions -= 1
+    return [("\n".join(decorated) + "\n").encode("ascii")]

@@ -1,0 +1,71 @@
+"""cmp — byte-by-byte file comparison.
+
+Like cmp(1)'s default mode: reads two streams in lockstep and stops at
+the first differing byte, reporting its offset and line.  The equality
+test in the hot loop almost never fires (dissimilar pairs exit after a
+handful of bytes), matching cmp's very low taken fraction in Table 2
+and its strongly-biased branches.
+"""
+
+from repro.benchmarksuite.inputs import text_lines
+
+DESCRIPTION = "similar/dissimilar text files"
+RUNS = 8
+
+SOURCE = r"""
+// cmp: compare streams 0 and 1, stopping at the first difference.
+int main() {
+    int a; int b;
+    int offset = 1;
+    int line = 1;
+
+    a = getc(0);
+    b = getc(1);
+    while (a == b && a != -1) {
+        if (a == '\n') line = line + 1;
+        offset = offset + 1;
+        a = getc(0);
+        b = getc(1);
+    }
+
+    if (a == b) {
+        putc('s'); putc('a'); putc('m'); putc('e'); putc(' ');
+        puti(offset - 1); putc('\n');
+        return 0;
+    }
+    if (a == -1 || b == -1) {
+        putc('E'); putc('O'); putc('F'); putc(' ');
+        puti(offset); putc(' ');
+        puti(line); putc('\n');
+        return 1;
+    }
+    putc('d'); putc('i'); putc('f'); putc('f'); putc(' ');
+    puti(offset); putc(' ');
+    puti(line); putc(' ');
+    puti(a); putc(' ');
+    puti(b); putc('\n');
+    return 1;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_lines = max(5, int((120 + rng.next_int(300)) * scale))
+    kind = run_index % 4
+    if kind in (0, 1):
+        # Identical files: the common case when checking copies.
+        left = text_lines(rng, n_lines)
+        return [left, left]
+    if kind == 2:
+        # One late byte flip.
+        left = text_lines(rng, n_lines)
+        mutated = bytearray(left)
+        position = len(mutated) // 2 + rng.next_int(max(1, len(mutated) // 2))
+        position = min(position, len(mutated) - 1)
+        mutated[position] = (mutated[position] + 1) % 128 or 97
+        return [left, bytes(mutated)]
+    # Dissimilar files / prefix (EOF) case.
+    left = text_lines(rng, n_lines)
+    if rng.chance(1, 2):
+        return [left, left[: len(left) // 2]]
+    return [left, text_lines(rng, n_lines)]

@@ -1,0 +1,90 @@
+"""compress — LZW compression, the algorithm of Unix compress(1).
+
+A hashed string table maps (prefix-code, byte) pairs to codes; the hot
+loop is the open-addressing probe.  Emits 12-bit codes packed into
+bytes plus a compression-ratio report.
+"""
+
+from repro.benchmarksuite.inputs import binary_blob, c_source, text_lines
+
+DESCRIPTION = "C sources and text (same family as cccp)"
+RUNS = 8
+
+SOURCE = r"""
+// compress: LZW with 12-bit codes over stream 0.
+int hash_key[8192];     // (prefix << 8) | byte, or -1 when empty
+int hash_code[8192];
+int in_bytes;
+int out_bytes;
+int table_full_events;
+
+int emit_code(int code) {
+    // Pack a 12-bit code as byte + nibble bookkeeping (simplified
+    // packing: high byte then low nibble in its own byte).
+    putc((code >> 4) & 255);
+    putc(code & 15);
+    out_bytes = out_bytes + 2;
+    return 0;
+}
+
+int probe(int key) {
+    // Open addressing with a secondary step, as in compress.
+    int h = (key * 2654435761) % 8192;
+    if (h < 0) h = h + 8192;
+    while (hash_key[h] != -1 && hash_key[h] != key) {
+        h = h + 257;
+        if (h >= 8192) h = h - 8192;
+    }
+    return h;
+}
+
+int main() {
+    int i; int c; int ent; int key; int slot;
+    int next_code = 256;
+
+    for (i = 0; i < 8192; i = i + 1) hash_key[i] = -1;
+
+    ent = getc(0);
+    if (ent == -1) { puti(0); putc('\n'); return 0; }
+    in_bytes = 1;
+
+    c = getc(0);
+    while (c != -1) {
+        in_bytes = in_bytes + 1;
+        key = (ent << 8) | c;
+        slot = probe(key);
+        if (hash_key[slot] == key) {
+            ent = hash_code[slot];
+        } else {
+            emit_code(ent);
+            if (next_code < 4096) {
+                hash_key[slot] = key;
+                hash_code[slot] = next_code;
+                next_code = next_code + 1;
+            } else {
+                table_full_events = table_full_events + 1;
+            }
+            ent = c;
+        }
+        c = getc(0);
+    }
+    emit_code(ent);
+
+    putc('\n');
+    puti(in_bytes); putc(' ');
+    puti(out_bytes); putc(' ');
+    puti(next_code - 256); putc(' ');
+    puti(table_full_events); putc('\n');
+    return 0;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_lines = max(10, int((200 + rng.next_int(400)) * scale))
+    kind = run_index % 3
+    if kind == 0:
+        return [c_source(rng, n_lines)]
+    if kind == 1:
+        return [text_lines(rng, n_lines)]
+    return [binary_blob(rng, max(256, int(4000 * scale)))]

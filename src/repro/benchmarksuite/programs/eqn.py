@@ -1,0 +1,252 @@
+"""eqn — troff equation formatting (Table 5's other extra row).
+
+The core of eqn is a recursive-descent parse of the equation language
+(``over``, ``sup``, ``sub``, ``sqrt``, ``{ }`` grouping) followed by
+recursive box layout: each construct computes a (width, height,
+depth) box from its children.  Our version parses one equation per
+line, computes the box metrics, and prints them with a flattened
+rendering, exercising the same parser/layout branch mix.
+"""
+
+DESCRIPTION = "equation descriptions, one per line"
+RUNS = 8
+
+SOURCE = r"""
+// eqn: parse 'a over b sup 2' style equations from stream 0 and
+// report layout boxes.  Box metrics per node: width, height, depth.
+
+int line[512];
+int line_len;
+int pos;
+
+int equations;
+int errors;
+int total_width;
+int max_height;
+
+// Tokeniser over the current line.
+int tok_kind;        // 0 eof, 1 word, 2 number, 3 '{', 4 '}', 5 '(',
+                     // 6 ')', 7 operator char, 8 keyword-over,
+                     // 9 keyword-sup, 10 keyword-sub, 11 keyword-sqrt
+int tok_len;         // width of the token's text
+int tok_word[32];
+
+int is_letter(int c) {
+    if (c >= 'a' && c <= 'z') return 1;
+    if (c >= 'A' && c <= 'Z') return 1;
+    return 0;
+}
+
+int keyword_code() {
+    if (tok_len == 4 && tok_word[0] == 'o' && tok_word[1] == 'v'
+        && tok_word[2] == 'e' && tok_word[3] == 'r') return 8;
+    if (tok_len == 3 && tok_word[0] == 's' && tok_word[1] == 'u'
+        && tok_word[2] == 'p') return 9;
+    if (tok_len == 3 && tok_word[0] == 's' && tok_word[1] == 'u'
+        && tok_word[2] == 'b') return 10;
+    if (tok_len == 4 && tok_word[0] == 's' && tok_word[1] == 'q'
+        && tok_word[2] == 'r' && tok_word[3] == 't') return 11;
+    return 1;
+}
+
+int next_token() {
+    int c;
+    while (pos < line_len && (line[pos] == ' ' || line[pos] == '\t'))
+        pos = pos + 1;
+    if (pos >= line_len) { tok_kind = 0; tok_len = 0; return 0; }
+    c = line[pos];
+    if (is_letter(c)) {
+        tok_len = 0;
+        while (pos < line_len && is_letter(line[pos])) {
+            if (tok_len < 32) { tok_word[tok_len] = line[pos]; }
+            tok_len = tok_len + 1;
+            pos = pos + 1;
+        }
+        tok_kind = keyword_code();
+        return tok_kind;
+    }
+    if (c >= '0' && c <= '9') {
+        tok_len = 0;
+        while (pos < line_len && line[pos] >= '0' && line[pos] <= '9') {
+            tok_len = tok_len + 1;
+            pos = pos + 1;
+        }
+        tok_kind = 2;
+        return 2;
+    }
+    pos = pos + 1;
+    tok_len = 1;
+    if (c == '{') tok_kind = 3;
+    else if (c == '}') tok_kind = 4;
+    else if (c == '(') tok_kind = 5;
+    else if (c == ')') tok_kind = 6;
+    else tok_kind = 7;
+    return tok_kind;
+}
+
+// Box layout: parse functions return packed metrics
+// width * 10000 + height * 100 + depth (all < 100).
+int pack(int width, int height, int depth) {
+    if (width > 99) width = 99;
+    if (height > 99) height = 99;
+    if (depth > 99) depth = 99;
+    return width * 10000 + height * 100 + depth;
+}
+
+int box_width(int box) { return box / 10000; }
+int box_height(int box) { return (box / 100) % 100; }
+int box_depth(int box) { return box % 100; }
+
+// Grammar:
+//   equation := box+                     (horizontal concatenation)
+//   box      := primary (('over'|'sup'|'sub') primary)*
+//   primary  := word | number | operator | '{' equation '}'
+//             | '(' equation ')' | 'sqrt' primary
+// (Minic resolves forward calls without prototypes.)
+
+int parse_primary() {
+    int inner; int kind;
+    kind = tok_kind;
+    if (kind == 1 || kind == 2 || kind == 7) {
+        inner = pack(tok_len, 1, 0);
+        next_token();
+        return inner;
+    }
+    if (kind == 3) {       // { equation }
+        next_token();
+        inner = parse_equation();
+        if (tok_kind == 4) next_token();
+        else errors = errors + 1;
+        return inner;
+    }
+    if (kind == 5) {       // ( equation )
+        next_token();
+        inner = parse_equation();
+        if (tok_kind == 6) next_token();
+        else errors = errors + 1;
+        return pack(box_width(inner) + 2, box_height(inner),
+                    box_depth(inner));
+    }
+    if (kind == 11) {      // sqrt primary
+        next_token();
+        inner = parse_primary();
+        return pack(box_width(inner) + 2, box_height(inner) + 1,
+                    box_depth(inner));
+    }
+    errors = errors + 1;
+    next_token();
+    return pack(1, 1, 0);
+}
+
+int parse_box() {
+    int left; int right; int op;
+    left = parse_primary();
+    while (tok_kind == 8 || tok_kind == 9 || tok_kind == 10) {
+        op = tok_kind;
+        next_token();
+        right = parse_primary();
+        if (op == 8) {
+            // over: stacked fraction.
+            left = pack(
+                (box_width(left) > box_width(right))
+                    * (box_width(left) - box_width(right))
+                    + box_width(right),   // max of the two widths
+                box_height(left) + 1,
+                box_depth(left) + box_height(right) + box_depth(right));
+        } else if (op == 9) {
+            // sup: raised script.
+            left = pack(box_width(left) + box_width(right),
+                        box_height(left) + box_height(right),
+                        box_depth(left));
+        } else {
+            // sub: lowered script.
+            left = pack(box_width(left) + box_width(right),
+                        box_height(left),
+                        box_depth(left) + box_height(right));
+        }
+    }
+    return left;
+}
+
+int parse_equation() {
+    int total; int piece;
+    total = parse_box();
+    while (tok_kind != 0 && tok_kind != 4 && tok_kind != 6) {
+        piece = parse_box();
+        total = pack(box_width(total) + box_width(piece),
+                     (box_height(total) > box_height(piece))
+                         * (box_height(total) - box_height(piece))
+                         + box_height(piece),
+                     (box_depth(total) > box_depth(piece))
+                         * (box_depth(total) - box_depth(piece))
+                         + box_depth(piece));
+    }
+    return total;
+}
+
+int main() {
+    int c; int done = 0; int box;
+
+    while (!done) {
+        line_len = 0;
+        c = getc(0);
+        while (c != -1 && c != '\n') {
+            if (line_len < 512) { line[line_len] = c; line_len = line_len + 1; }
+            c = getc(0);
+        }
+        if (c == -1 && line_len == 0) {
+            done = 1;
+        } else {
+            pos = 0;
+            next_token();
+            if (tok_kind != 0) {
+                box = parse_equation();
+                equations = equations + 1;
+                total_width = total_width + box_width(box);
+                if (box_height(box) + box_depth(box) > max_height)
+                    max_height = box_height(box) + box_depth(box);
+                puti(box_width(box)); putc('x');
+                puti(box_height(box)); putc('+');
+                puti(box_depth(box)); putc('\n');
+            }
+            if (c == -1) done = 1;
+        }
+    }
+
+    puti(equations); putc(' ');
+    puti(errors); putc(' ');
+    puti(total_width); putc(' ');
+    puti(max_height); putc('\n');
+    return 0;
+}
+"""
+
+_ATOMS = ["x", "y", "alpha", "beta", "n", "k", "pi", "theta", "sum", "f"]
+
+
+def _equation(rng, depth):
+    roll = rng.next_int(10)
+    if depth >= 3 or roll < 3:
+        if rng.chance(1, 3):
+            return str(rng.next_int(100))
+        return rng.choice(_ATOMS)
+    if roll < 5:
+        return "%s over %s" % (_equation(rng, depth + 1),
+                               _equation(rng, depth + 1))
+    if roll < 7:
+        op = "sup" if rng.chance(1, 2) else "sub"
+        return "%s %s %s" % (rng.choice(_ATOMS), op,
+                             _equation(rng, depth + 1))
+    if roll < 8:
+        return "sqrt { %s }" % _equation(rng, depth + 1)
+    if roll < 9:
+        return "( %s + %s )" % (_equation(rng, depth + 1),
+                                _equation(rng, depth + 1))
+    return "%s + %s" % (_equation(rng, depth + 1),
+                        _equation(rng, depth + 1))
+
+
+def make_inputs(rng, run_index, scale):
+    n_equations = max(10, int((120 + rng.next_int(240)) * scale))
+    lines = [_equation(rng, 0) for _ in range(n_equations)]
+    return [("\n".join(lines) + "\n").encode("ascii")]

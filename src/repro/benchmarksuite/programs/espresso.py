@@ -1,0 +1,198 @@
+"""espresso — two-level logic minimization (Table 5's extra row).
+
+A Quine-McCluskey-flavoured core of espresso: read an ON-set of cubes
+in PLA notation (one cube per line over ``0``/``1``/``-``), repeatedly
+merge distance-1 cube pairs into larger implicants, drop covered
+cubes, then greedily select a cover.  The merging passes are the
+branchy kernel: nested cube-pair loops full of per-literal
+comparisons.
+"""
+
+DESCRIPTION = "PLA cube lists (0/1/- per variable)"
+RUNS = 8
+
+SOURCE = r"""
+// espresso: minimise the ON-set cube list on stream 0.
+// Literal encoding: 0, 1, or 2 for '-'.
+int cube[5120];          // cubes * n_vars literals
+int alive[320];
+int n_cubes;
+int n_vars;
+
+int merges;
+int drops;
+int cover_size;
+
+int lit(int c, int v) { return cube[c * 16 + v]; }
+
+int set_lit(int c, int v, int value) { cube[c * 16 + v] = value; return 0; }
+
+// Distance between cubes a and b: number of differing literals;
+// 99 when they differ in a position where one has '-' and the other
+// does not (not mergeable).
+int distance(int a, int b) {
+    int v; int d = 0; int la; int lb;
+    for (v = 0; v < n_vars; v = v + 1) {
+        la = lit(a, v);
+        lb = lit(b, v);
+        if (la != lb) {
+            if (la == 2 || lb == 2) return 99;
+            d = d + 1;
+        }
+    }
+    return d;
+}
+
+// Does cube a contain cube b (a covers b)?
+int contains(int a, int b) {
+    int v; int la;
+    for (v = 0; v < n_vars; v = v + 1) {
+        la = lit(a, v);
+        if (la != 2 && la != lit(b, v)) return 0;
+    }
+    return 1;
+}
+
+int equal_cubes(int a, int b) {
+    int v;
+    for (v = 0; v < n_vars; v = v + 1)
+        if (lit(a, v) != lit(b, v)) return 0;
+    return 1;
+}
+
+int add_merged(int a, int b) {
+    // Append the consensus of a distance-1 pair; returns its index,
+    // or -1 when it already exists or space ran out.
+    int v; int i;
+    if (n_cubes >= 320) return -1;
+    for (v = 0; v < n_vars; v = v + 1) {
+        if (lit(a, v) == lit(b, v)) set_lit(n_cubes, v, lit(a, v));
+        else set_lit(n_cubes, v, 2);
+    }
+    for (i = 0; i < n_cubes; i = i + 1) {
+        if (alive[i] && equal_cubes(i, n_cubes)) return -1;
+    }
+    alive[n_cubes] = 1;
+    n_cubes = n_cubes + 1;
+    return n_cubes - 1;
+}
+
+int merge_pass() {
+    // One closure pass; returns the number of merges performed.
+    int a; int b; int before = n_cubes; int found = 0;
+    for (a = 0; a < before; a = a + 1) {
+        if (!alive[a]) continue;
+        for (b = a + 1; b < before; b = b + 1) {
+            if (!alive[b]) continue;
+            if (distance(a, b) == 1) {
+                if (add_merged(a, b) != -1) {
+                    found = found + 1;
+                    merges = merges + 1;
+                }
+            }
+        }
+    }
+    return found;
+}
+
+int drop_covered() {
+    int a; int b;
+    for (a = 0; a < n_cubes; a = a + 1) {
+        if (!alive[a]) continue;
+        for (b = 0; b < n_cubes; b = b + 1) {
+            if (a == b || !alive[b]) continue;
+            if (contains(b, a)) {
+                alive[a] = 0;
+                drops = drops + 1;
+                b = n_cubes;  // break
+            }
+        }
+    }
+    return 0;
+}
+
+int literal_count(int c) {
+    int v; int n = 0;
+    for (v = 0; v < n_vars; v = v + 1)
+        if (lit(c, v) != 2) n = n + 1;
+    return n;
+}
+
+int emit_cube(int c) {
+    int v; int l;
+    for (v = 0; v < n_vars; v = v + 1) {
+        l = lit(c, v);
+        if (l == 0) putc('0');
+        else if (l == 1) putc('1');
+        else putc('-');
+    }
+    putc('\n');
+    return 0;
+}
+
+int main() {
+    int c; int v; int pass; int total_literals;
+
+    // Parse the PLA: one cube per line.
+    c = getc(0);
+    while (c != -1 && n_cubes < 160) {
+        v = 0;
+        while (c == '0' || c == '1' || c == '-') {
+            if (v < 16) {
+                if (c == '0') set_lit(n_cubes, v, 0);
+                else if (c == '1') set_lit(n_cubes, v, 1);
+                else set_lit(n_cubes, v, 2);
+                v = v + 1;
+            }
+            c = getc(0);
+        }
+        if (v > 0) {
+            if (v > n_vars) n_vars = v;
+            alive[n_cubes] = 1;
+            n_cubes = n_cubes + 1;
+        }
+        while (c != -1 && c != '\n') c = getc(0);
+        if (c == '\n') c = getc(0);
+    }
+
+    // Expand: merge to closure (bounded passes).
+    for (pass = 0; pass < 6; pass = pass + 1) {
+        if (merge_pass() == 0) pass = 6;
+        drop_covered();
+    }
+
+    // Emit the surviving cover, cheapest cubes first is not needed;
+    // report totals.
+    total_literals = 0;
+    for (c = 0; c < n_cubes; c = c + 1) {
+        if (alive[c]) {
+            cover_size = cover_size + 1;
+            total_literals = total_literals + literal_count(c);
+            if (cover_size <= 32) emit_cube(c);
+        }
+    }
+    puti(cover_size); putc(' ');
+    puti(total_literals); putc(' ');
+    puti(merges); putc(' ');
+    puti(drops); putc('\n');
+    return 0;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_vars = 6 + rng.next_int(5)           # 6..10 variables
+    n_cubes = max(8, int((24 + rng.next_int(48)) * min(1.0, scale * 2)))
+    lines = []
+    for _ in range(n_cubes):
+        cube = []
+        for _ in range(n_vars):
+            roll = rng.next_int(10)
+            if roll < 4:
+                cube.append("0")
+            elif roll < 8:
+                cube.append("1")
+            else:
+                cube.append("-")
+        lines.append("".join(cube))
+    return [("\n".join(lines) + "\n").encode("ascii")]

@@ -1,0 +1,128 @@
+"""grep — line-oriented pattern search.
+
+A Kernighan-style backtracking matcher supporting literals, ``.``,
+``c*``, ``^`` anchors, ``$``, and ``[abc]`` character classes.  The
+inner loop tries the pattern at every position of every line; the
+first-character comparison almost always fails, which is exactly why
+the paper's grep shows a 5% taken fraction for conditional branches.
+"""
+
+from repro.benchmarksuite.inputs import grep_pattern, text_lines
+
+DESCRIPTION = "exercised various patterns over text"
+RUNS = 10
+
+SOURCE = r"""
+// grep: print lines of stream 1 matching the pattern on stream 0.
+int pat[256];
+int pat_len;
+int line[2048];
+int line_len;
+int match_count;
+int line_number;
+
+// Does line[li..] match pat[pi..]?
+int match_here(int li, int pi) {
+    int c;
+    if (pi == pat_len) return 1;
+    if (pi + 1 < pat_len && pat[pi + 1] == '*')
+        return match_star(pat[pi], li, pi + 2);
+    if (pat[pi] == '$' && pi + 1 == pat_len)
+        return li == line_len;
+    if (pat[pi] == '[')
+        return match_class(li, pi);
+    if (li < line_len) {
+        c = pat[pi];
+        if (c == '.' || c == line[li])
+            return match_here(li + 1, pi + 1);
+    }
+    return 0;
+}
+
+// Kleene star: zero or more of ch, then the rest of the pattern.
+int match_star(int ch, int li, int pi) {
+    do {
+        if (match_here(li, pi)) return 1;
+        if (li >= line_len) return 0;
+        if (ch != '.' && line[li] != ch) return 0;
+        li = li + 1;
+    } while (1);
+    return 0;
+}
+
+// Character class [abc]: any listed character matches.
+int match_class(int li, int pi) {
+    int probe;
+    int hit = 0;
+    if (li >= line_len) return 0;
+    probe = pi + 1;
+    while (probe < pat_len && pat[probe] != ']') {
+        if (pat[probe] == line[li]) hit = 1;
+        probe = probe + 1;
+    }
+    if (!hit) return 0;
+    return match_here(li + 1, probe + 1);
+}
+
+int match_line() {
+    int start;
+    if (pat_len > 0 && pat[0] == '^') {
+        // Anchored: try only position 0 with the anchor stripped.
+        return match_here(0, 1);
+    }
+    start = 0;
+    while (start <= line_len) {
+        if (match_here(start, 0)) return 1;
+        start = start + 1;
+    }
+    return 0;
+}
+
+int read_pattern() {
+    int c;
+    c = getc(0);
+    while (c != -1 && c != '\n') {
+        if (pat_len < 255) { pat[pat_len] = c; pat_len = pat_len + 1; }
+        c = getc(0);
+    }
+    return pat_len;
+}
+
+int emit_line() {
+    int i;
+    for (i = 0; i < line_len; i = i + 1) putc(line[i]);
+    putc('\n');
+    return 0;
+}
+
+int main() {
+    int c; int done = 0;
+    read_pattern();
+    while (!done) {
+        line_len = 0;
+        c = getc(1);
+        while (c != -1 && c != '\n') {
+            if (line_len < 2047) { line[line_len] = c; line_len = line_len + 1; }
+            c = getc(1);
+        }
+        if (c == -1 && line_len == 0) {
+            done = 1;
+        } else {
+            line_number = line_number + 1;
+            if (match_line()) {
+                match_count = match_count + 1;
+                puti(line_number); putc(':');
+                emit_line();
+            }
+            if (c == -1) done = 1;
+        }
+    }
+    puti(match_count); putc('\n');
+    return match_count == 0;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_lines = max(10, int((150 + rng.next_int(500)) * scale))
+    return [grep_pattern(rng) + b"\n", text_lines(rng, n_lines)]

@@ -1,0 +1,188 @@
+"""make — makefile parsing and out-of-date propagation.
+
+Parses ``target: deps`` rules with tab-indented command lines, interns
+target names in a hash table, builds the dependency DAG in edge
+arrays, assigns deterministic pseudo-timestamps, and recursively
+rebuilds every target whose dependencies are newer — emitting the
+build commands in dependency order, exactly the control structure of
+make's update algorithm.
+"""
+
+from repro.benchmarksuite.inputs import makefile
+
+DESCRIPTION = "generated makefiles"
+RUNS = 10
+
+SOURCE = r"""
+// make: dependency-driven rebuild over the makefile on stream 0.
+int name_pool[4096];
+int pool_len;
+int node_start[256];
+int node_len[256];
+int n_nodes;
+
+int first_dep[256];      // head of each node's dependency list, or -1
+int dep_node[2048];
+int dep_next[2048];
+int n_edges;
+
+int timestamp[256];
+int status[256];         // 0 unknown, 1 fresh, 2 rebuilt
+int commands[256];       // command lines seen per target
+int clock_now;
+
+int word[64];
+int word_len;
+
+int rebuild_count;
+int fresh_count;
+
+int same_name(int node) {
+    int i;
+    if (node_len[node] != word_len) return 0;
+    for (i = 0; i < word_len; i = i + 1)
+        if (name_pool[node_start[node] + i] != word[i]) return 0;
+    return 1;
+}
+
+int intern() {
+    int i;
+    for (i = 0; i < n_nodes; i = i + 1)
+        if (same_name(i)) return i;
+    node_start[n_nodes] = pool_len;
+    node_len[n_nodes] = word_len;
+    for (i = 0; i < word_len; i = i + 1) {
+        name_pool[pool_len] = word[i];
+        pool_len = pool_len + 1;
+    }
+    first_dep[n_nodes] = -1;
+    // Deterministic pseudo-timestamp derived from the name.
+    timestamp[n_nodes] = 0;
+    for (i = 0; i < word_len; i = i + 1)
+        timestamp[n_nodes] = (timestamp[n_nodes] * 31 + word[i]) % 97;
+    n_nodes = n_nodes + 1;
+    return n_nodes - 1;
+}
+
+int add_dep(int target, int dep) {
+    dep_node[n_edges] = dep;
+    dep_next[n_edges] = first_dep[target];
+    first_dep[target] = n_edges;
+    n_edges = n_edges + 1;
+    return 0;
+}
+
+int put_name(int node) {
+    int i;
+    for (i = 0; i < node_len[node]; i = i + 1)
+        putc(name_pool[node_start[node] + i]);
+    return 0;
+}
+
+// Returns 1 when the target is fresh, 2 when it was rebuilt.
+int build(int node) {
+    int edge; int dep; int result; int need = 0;
+    if (status[node] != 0) return status[node];
+    status[node] = 1;  // provisional (the makefile DAG is acyclic)
+    edge = first_dep[node];
+    while (edge != -1) {
+        dep = dep_node[edge];
+        result = build(dep);
+        if (result == 2) need = 1;
+        if (timestamp[dep] > timestamp[node]) need = 1;
+        edge = dep_next[edge];
+    }
+    if (first_dep[node] == -1 && commands[node] == 0) {
+        // A leaf with no commands is a source file: always fresh.
+        fresh_count = fresh_count + 1;
+        return 1;
+    }
+    if (need || timestamp[node] == 0) {
+        putc('b'); putc(' ');
+        put_name(node);
+        putc('\n');
+        clock_now = clock_now + 1;
+        timestamp[node] = 97 + clock_now;
+        status[node] = 2;
+        rebuild_count = rebuild_count + 1;
+        return 2;
+    }
+    fresh_count = fresh_count + 1;
+    return 1;
+}
+
+int pending;
+
+int next_char() {
+    int c;
+    if (pending != -2) { c = pending; pending = -2; return c; }
+    return getc(0);
+}
+
+int read_name() {
+    int c;
+    word_len = 0;
+    c = next_char();
+    while (c == ' ') c = next_char();
+    while (c != -1 && c != ' ' && c != '\n' && c != ':' && c != '\t') {
+        if (word_len < 63) { word[word_len] = c; word_len = word_len + 1; }
+        c = next_char();
+    }
+    pending = c;
+    return word_len;
+}
+
+int main() {
+    int c; int target; int dep; int i;
+    int first_target = -1;
+
+    pending = -2;
+    c = next_char();
+    while (c != -1) {
+        if (c == '\t') {
+            // Command line: attribute to the most recent target.
+            if (n_nodes > 0 && first_target != -1)
+                commands[first_target] = commands[first_target] + 1;
+            c = next_char();
+            while (c != -1 && c != '\n') c = next_char();
+            if (c != -1) c = next_char();
+        } else if (c == '\n') {
+            c = next_char();
+        } else {
+            // Rule line: target ':' dependencies.
+            pending = c;
+            if (read_name() == 0) { c = next_char(); }
+            else {
+                target = intern();
+                first_target = target;
+                c = next_char();
+                while (c == ' ') c = next_char();
+                if (c == ':') c = next_char();
+                while (c != -1 && c != '\n') {
+                    pending = c;
+                    if (read_name() > 0) {
+                        dep = intern();
+                        add_dep(target, dep);
+                    }
+                    c = next_char();
+                }
+                if (c != -1) c = next_char();
+            }
+        }
+    }
+
+    // Build every target (memoised), first-defined first.
+    for (i = 0; i < n_nodes; i = i + 1) build(i);
+
+    puti(n_nodes); putc(' ');
+    puti(n_edges); putc(' ');
+    puti(rebuild_count); putc(' ');
+    puti(fresh_count); putc('\n');
+    return 0;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_targets = max(4, int((20 + rng.next_int(60)) * scale))
+    return [makefile(rng, n_targets)]

@@ -1,0 +1,150 @@
+"""tar — block-structured archive creation and extraction.
+
+Create mode reads two member "files" and writes the archive: a header
+per member (magic, id, 4-byte size) followed by 64-byte data blocks,
+each zero-padded and followed by a checksum byte.  Extract mode parses
+an archive, verifies every block checksum, and writes the member
+contents out.  The inner 64-iteration block loops give tar the very
+high taken fraction the paper reports (89%).
+"""
+
+from repro.benchmarksuite.inputs import binary_blob, text_lines
+
+DESCRIPTION = "save/extract files"
+RUNS = 10
+
+SOURCE = r"""
+// tar: stream 0 = mode ('c' create from streams 1 and 2,
+//                       'x' extract the archive on stream 1).
+int buf[65536];
+int members;
+int total_bytes;
+int bad_blocks;
+
+int put32(int value) {
+    putc((value >> 24) & 255);
+    putc((value >> 16) & 255);
+    putc((value >> 8) & 255);
+    putc(value & 255);
+    return 0;
+}
+
+int archive_member(int stream_id, int member_id) {
+    int n = 0; int c; int i; int pos; int sum; int byte;
+
+    if (stream_id == 1) { c = getc(1); while (c != -1) { buf[n] = c; n = n + 1; c = getc(1); } }
+    else { c = getc(2); while (c != -1) { buf[n] = c; n = n + 1; c = getc(2); } }
+
+    putc('T');
+    putc(member_id);
+    put32(n);
+    pos = 0;
+    while (pos < n) {
+        sum = 0;
+        for (i = 0; i < 64; i = i + 1) {
+            if (pos + i < n) byte = buf[pos + i];
+            else byte = 0;
+            putc(byte);
+            sum = (sum + byte) & 255;
+        }
+        putc(sum);
+        pos = pos + 64;
+    }
+    members = members + 1;
+    total_bytes = total_bytes + n;
+    return n;
+}
+
+int get32() {
+    int value = 0; int i; int c;
+    for (i = 0; i < 4; i = i + 1) {
+        c = getc(1);
+        if (c == -1) return -1;
+        value = (value << 8) | c;
+    }
+    return value;
+}
+
+int extract_member(int member_id) {
+    int size; int pos; int i; int c; int sum; int stored;
+    size = get32();
+    if (size < 0) return -1;
+    pos = 0;
+    while (pos < size) {
+        sum = 0;
+        for (i = 0; i < 64; i = i + 1) {
+            c = getc(1);
+            if (c == -1) c = 0;
+            if (pos + i < size) {
+                putc(c);
+                total_bytes = total_bytes + 1;
+            }
+            sum = (sum + c) & 255;
+        }
+        stored = getc(1);
+        if (stored != sum) bad_blocks = bad_blocks + 1;
+        pos = pos + 64;
+    }
+    members = members + 1;
+    return size;
+}
+
+int main() {
+    int mode; int c; int id;
+
+    mode = getc(0);
+    if (mode == 'c') {
+        archive_member(1, 1);
+        archive_member(2, 2);
+        putc(0);
+    } else {
+        c = getc(1);
+        while (c == 'T') {
+            id = getc(1);
+            if (extract_member(id) < 0) c = -1;
+            else c = getc(1);
+        }
+    }
+
+    putc('\n');
+    puti(members); putc(' ');
+    puti(total_bytes); putc(' ');
+    puti(bad_blocks); putc('\n');
+    return bad_blocks != 0;
+}
+"""
+
+
+def _build_archive(payloads):
+    """Replicate the Minic archive format for extract-mode inputs."""
+    archive = bytearray()
+    for member_id, payload in enumerate(payloads, start=1):
+        archive.append(ord("T"))
+        archive.append(member_id)
+        archive.extend(len(payload).to_bytes(4, "big"))
+        position = 0
+        while position < len(payload):
+            block = payload[position:position + 64]
+            block = block + b"\0" * (64 - len(block))
+            archive.extend(block)
+            archive.append(sum(block) & 255)
+            position += 64
+    archive.append(0)
+    return bytes(archive)
+
+
+def make_inputs(rng, run_index, scale):
+    size_a = max(64, int((1500 + rng.next_int(3000)) * scale))
+    n_lines = max(4, int((40 + rng.next_int(80)) * scale))
+    file_a = binary_blob(rng, size_a)
+    file_b = text_lines(rng, n_lines)
+    if run_index % 2 == 0:
+        return [b"c", file_a, file_b]
+    archive = _build_archive([file_a, file_b])
+    if rng.chance(1, 4):
+        # Corrupt one archive byte so the checksum path runs.
+        corrupted = bytearray(archive)
+        position = 8 + rng.next_int(max(1, len(corrupted) - 16))
+        corrupted[position] ^= 0x5A
+        archive = bytes(corrupted)
+    return [b"x", archive]

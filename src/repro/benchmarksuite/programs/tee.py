@@ -1,0 +1,43 @@
+"""tee — duplicate input to output while accounting.
+
+The real tee copies stdin both to stdout and to a file; ours copies
+stream 0 to the output and to an in-memory "file" whose checksum and
+size are reported, plus line accounting.  Branches are an almost
+unconditional copy loop with rare newline hits.
+"""
+
+from repro.benchmarksuite.inputs import text_lines
+
+DESCRIPTION = "text files (100-3000 lines)"
+RUNS = 8
+
+SOURCE = r"""
+// tee: copy stream 0 to the output and to a checksummed sink.
+int sink[4096];
+int sink_len;
+int checksum;
+int lines;
+
+int main() {
+    int c;
+    c = getc(0);
+    while (c != -1) {
+        putc(c);
+        sink[sink_len % 4096] = c;
+        sink_len = sink_len + 1;
+        checksum = (checksum * 31 + c) % 65521;
+        if (c == '\n') lines = lines + 1;
+        c = getc(0);
+    }
+    putc('\n');
+    puti(lines); putc(' ');
+    puti(sink_len); putc(' ');
+    puti(checksum); putc('\n');
+    return 0;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_lines = max(5, int((100 + rng.next_int(300)) * scale))
+    return [text_lines(rng, n_lines)]

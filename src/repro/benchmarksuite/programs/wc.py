@@ -1,0 +1,62 @@
+"""wc — line, word, and character counting.
+
+The original wc walks its input once with a small in-word state
+machine; branch behaviour is dominated by character-class tests that
+are usually false (most characters are neither newlines nor
+word/space boundaries), giving wc its low taken fraction in Table 2.
+"""
+
+from repro.benchmarksuite.inputs import c_source
+
+DESCRIPTION = "same input as cccp (C sources)"
+RUNS = 8
+
+SOURCE = r"""
+// wc: count lines, words, and characters of stream 0.
+int line_count;
+int word_count;
+int char_count;
+int longest_line;
+
+int is_space(int c) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return 1;
+    return 0;
+}
+
+int main() {
+    int c;
+    int in_word = 0;
+    int this_line = 0;
+
+    c = getc(0);
+    while (c != -1) {
+        char_count = char_count + 1;
+        if (c == '\n') {
+            line_count = line_count + 1;
+            if (this_line > longest_line) longest_line = this_line;
+            this_line = 0;
+        } else {
+            this_line = this_line + 1;
+        }
+        if (is_space(c)) {
+            in_word = 0;
+        } else {
+            if (!in_word) word_count = word_count + 1;
+            in_word = 1;
+        }
+        c = getc(0);
+    }
+    if (this_line > longest_line) longest_line = this_line;
+
+    puti(line_count); putc(' ');
+    puti(word_count); putc(' ');
+    puti(char_count); putc(' ');
+    puti(longest_line); putc('\n');
+    return 0;
+}
+"""
+
+
+def make_inputs(rng, run_index, scale):
+    n_lines = max(10, int((150 + rng.next_int(400)) * scale))
+    return [c_source(rng, n_lines)]

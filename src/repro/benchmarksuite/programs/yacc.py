@@ -1,0 +1,201 @@
+"""yacc — an SLR(1) shift-reduce parser driver.
+
+yacc's output is a table-driven LR parser; this benchmark embeds the
+textbook SLR tables for the expression grammar
+
+    E -> E + T | T      T -> T * F | F      F -> ( E ) | id
+
+and drives them over generated expression streams, evaluating each
+expression through the reduce actions (synthesised attributes on the
+value stack), with error recovery that skips to the next line.
+"""
+
+from repro.benchmarksuite.inputs import expression_stream
+
+DESCRIPTION = "expression grammars (one per line)"
+RUNS = 8
+
+# Terminals: id=0 '+'=1 '*'=2 '('=3 ')'=4 '$'=5.  Nonterminals: E=0 T=1 F=2.
+# Action encoding: 0 = error, 100+s = shift to state s,
+# 200+p = reduce by production p, 999 = accept.
+_ACTION = [
+    # id    +      *      (      )      $
+    105,    0,     0,     104,   0,     0,     # 0
+    0,      106,   0,     0,     0,     999,   # 1
+    0,      202,   107,   0,     202,   202,   # 2
+    0,      204,   204,   0,     204,   204,   # 3
+    105,    0,     0,     104,   0,     0,     # 4
+    0,      206,   206,   0,     206,   206,   # 5
+    105,    0,     0,     104,   0,     0,     # 6
+    105,    0,     0,     104,   0,     0,     # 7
+    0,      106,   0,     0,     111,   0,     # 8
+    0,      201,   107,   0,     201,   201,   # 9
+    0,      203,   203,   0,     203,   203,   # 10
+    0,      205,   205,   0,     205,   205,   # 11
+]
+
+_GOTO = [
+    # E   T   F
+    1,    2,  3,    # 0
+    -1,  -1, -1,    # 1
+    -1,  -1, -1,    # 2
+    -1,  -1, -1,    # 3
+    8,    2,  3,    # 4
+    -1,  -1, -1,    # 5
+    -1,   9,  3,    # 6
+    -1,  -1, 10,    # 7
+    -1,  -1, -1,    # 8
+    -1,  -1, -1,    # 9
+    -1,  -1, -1,    # 10
+    -1,  -1, -1,    # 11
+]
+
+# Production lengths and left-hand sides (index 1..6).
+_PROD_LEN = [0, 3, 1, 3, 1, 3, 1]
+_PROD_LHS = [0, 0, 0, 1, 1, 2, 2]
+
+
+def _fmt(values):
+    return ", ".join(str(value) for value in values)
+
+
+SOURCE = r"""
+// yacc: SLR(1) parse + evaluate expressions, one per line, stream 0.
+int action[72] = {%(action)s};
+int goto_tab[36] = {%(goto)s};
+int prod_len[7] = {%(prod_len)s};
+int prod_lhs[7] = {%(prod_lhs)s};
+
+int state_stack[128];
+int value_stack[128];
+
+int parsed_ok;
+int parse_errors;
+int shifts;
+int reduces;
+int checksum;
+
+int pending;
+
+int next_char() {
+    int c;
+    if (pending != -2) { c = pending; pending = -2; return c; }
+    return getc(0);
+}
+
+int token_value;
+int at_eof;
+
+// Returns the terminal index; '$' (5) at line end.
+int next_token() {
+    int c = next_char();
+    while (c == ' ' || c == '\t') c = next_char();
+    if (c == -1) { at_eof = 1; return 5; }
+    if (c == '\n') return 5;
+    if (c >= '0' && c <= '9') {
+        token_value = 0;
+        while (c >= '0' && c <= '9') {
+            token_value = token_value * 10 + (c - '0');
+            c = next_char();
+        }
+        pending = c;
+        return 0;
+    }
+    if (c == '+') return 1;
+    if (c == '*') return 2;
+    if (c == '(') return 3;
+    if (c == ')') return 4;
+    // Unknown character: treat as an error token (no terminal).
+    return 6;
+}
+
+int skip_line() {
+    int c = next_char();
+    while (c != -1 && c != '\n') c = next_char();
+    if (c == -1) at_eof = 1;
+    return 0;
+}
+
+// Parse one line; returns 1 on accept, 0 on error, -1 on EOF-no-input.
+int parse_line() {
+    int sp = 0;
+    int tok; int act; int p; int length; int value; int lhs; int target;
+
+    state_stack[0] = 0;
+    tok = next_token();
+    if (at_eof && tok == 5) return -1;
+
+    while (1) {
+        if (tok == 6) { skip_line(); return 0; }
+        act = action[state_stack[sp] * 6 + tok];
+        if (act == 0) {
+            if (tok != 5) skip_line();
+            return 0;
+        }
+        if (act == 999) {
+            checksum = (checksum + value_stack[sp]) %% 1000000007;
+            puti(value_stack[sp]); putc('\n');
+            return 1;
+        }
+        if (act >= 100 && act < 200) {
+            // Shift.
+            sp = sp + 1;
+            state_stack[sp] = act - 100;
+            value_stack[sp] = token_value;
+            shifts = shifts + 1;
+            tok = next_token();
+        } else {
+            // Reduce by production act - 200.
+            p = act - 200;
+            length = prod_len[p];
+            if (p == 1) value = value_stack[sp - 2] + value_stack[sp];
+            else if (p == 3) value = value_stack[sp - 2] * value_stack[sp];
+            else if (p == 5) value = value_stack[sp - 1];
+            else value = value_stack[sp];
+            sp = sp - length;
+            lhs = prod_lhs[p];
+            target = goto_tab[state_stack[sp] * 3 + lhs];
+            if (target < 0) { skip_line(); return 0; }
+            sp = sp + 1;
+            state_stack[sp] = target;
+            value_stack[sp] = value;
+            reduces = reduces + 1;
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int result;
+    pending = -2;
+    while (!at_eof) {
+        result = parse_line();
+        if (result == 1) parsed_ok = parsed_ok + 1;
+        else if (result == 0) parse_errors = parse_errors + 1;
+    }
+    puti(parsed_ok); putc(' ');
+    puti(parse_errors); putc(' ');
+    puti(shifts); putc(' ');
+    puti(reduces); putc(' ');
+    puti(checksum); putc('\n');
+    return 0;
+}
+""" % {
+    "action": _fmt(_ACTION),
+    "goto": _fmt(_GOTO),
+    "prod_len": _fmt(_PROD_LEN),
+    "prod_lhs": _fmt(_PROD_LHS),
+}
+
+
+def make_inputs(rng, run_index, scale):
+    n_expressions = max(10, int((150 + rng.next_int(400)) * scale))
+    stream = expression_stream(rng, n_expressions)
+    if run_index % 3 == 2:
+        # Inject syntax errors so the recovery path runs.
+        corrupted = bytearray(stream)
+        for position in range(0, len(corrupted), 97):
+            if corrupted[position] != 10:
+                corrupted[position] = ord("?")
+        stream = bytes(corrupted)
+    return [stream]

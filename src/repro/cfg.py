@@ -1,0 +1,192 @@
+"""Control-flow graphs over resolved intermediate-code programs.
+
+Used by the profiler (basic-block probe placement) and the trace
+selection / layout passes of the Forward Semantic compiler.
+
+Block-boundary conventions (these match trace-scheduling practice, e.g.
+the IMPACT compiler the paper used):
+
+* leaders are function entries, branch targets, jump-table entries, and
+  the instructions following conditional branches, jumps, returns,
+  indirect jumps, and HALT;
+* ``CALL`` does **not** end a basic block — control returns to the next
+  instruction, so for layout purposes a call is an ordinary instruction;
+* ``RET``, ``JIND``, and ``HALT`` end a block with no layout successors
+  (their targets are dynamic or terminal).
+"""
+
+from repro.isa.opcodes import Opcode
+
+
+class BasicBlock:
+    """A maximal straight-line region [start, end) of a program.
+
+    Attributes:
+        start: address of the leader instruction.
+        end: one past the last instruction.
+        taken_target: taken-path leader for a conditional terminator, or
+            the target of a terminating JUMP, else None.
+        fall_through: leader reached by not taking / running off the end
+            of the block, or None (JUMP/RET/JIND/HALT terminators).
+    """
+
+    __slots__ = ("start", "end", "taken_target", "fall_through")
+
+    def __init__(self, start, end, taken_target=None, fall_through=None):
+        self.start = start
+        self.end = end
+        self.taken_target = taken_target
+        self.fall_through = fall_through
+
+    def __len__(self):
+        return self.end - self.start
+
+    def successors(self):
+        """Layout successors (leader addresses), taken target first."""
+        result = []
+        if self.taken_target is not None:
+            result.append(self.taken_target)
+        if self.fall_through is not None and self.fall_through != self.taken_target:
+            result.append(self.fall_through)
+        return result
+
+    def __repr__(self):
+        return "BasicBlock(%d..%d, taken=%r, fall=%r)" % (
+            self.start, self.end, self.taken_target, self.fall_through)
+
+
+_BLOCK_ENDERS = frozenset({
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT, Opcode.BGE,
+    Opcode.JUMP, Opcode.RET, Opcode.JIND, Opcode.HALT,
+})
+
+_CONDITIONALS = frozenset({
+    Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT, Opcode.BGE,
+})
+
+
+def compute_leaders(program):
+    """Return the sorted list of basic-block leader addresses."""
+    if not program.resolved:
+        raise ValueError("program must be resolved")
+    size = len(program.instructions)
+    if size == 0:
+        return []
+    leaders = {0}
+    for label in program.functions.values():
+        leaders.add(program.labels[label])
+    for address, instr in enumerate(program.instructions):
+        op = instr.op
+        if op in _BLOCK_ENDERS:
+            if address + 1 < size:
+                leaders.add(address + 1)
+            if instr.target is not None and op is not Opcode.CALL:
+                leaders.add(instr.target)
+        elif op is Opcode.CALL:
+            leaders.add(instr.target)
+    for table in program.jump_tables:
+        leaders.update(table.entries)
+    return sorted(leaders)
+
+
+class ControlFlowGraph:
+    """Basic blocks of a program plus predecessor/successor structure."""
+
+    def __init__(self, program, blocks, leader_index):
+        self.program = program
+        self.blocks = blocks
+        self._leader_index = leader_index
+        self._predecessors = None
+
+    @classmethod
+    def from_program(cls, program):
+        """Build the CFG of a resolved program."""
+        leaders = compute_leaders(program)
+        size = len(program.instructions)
+        blocks = []
+        leader_index = {}
+        for position, start in enumerate(leaders):
+            end = leaders[position + 1] if position + 1 < len(leaders) else size
+            terminator = program.instructions[end - 1]
+            taken_target = None
+            fall_through = None
+            op = terminator.op
+            if op in _CONDITIONALS:
+                taken_target = terminator.target
+                if end < size:
+                    fall_through = end
+            elif op is Opcode.JUMP:
+                taken_target = terminator.target
+            elif op in (Opcode.RET, Opcode.JIND, Opcode.HALT):
+                pass
+            else:
+                # Block falls through into the next leader (or ends the
+                # program, which only happens for malformed code).
+                if end < size:
+                    fall_through = end
+            leader_index[start] = position
+            blocks.append(BasicBlock(start, end, taken_target, fall_through))
+        return cls(program, blocks, leader_index)
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def block_at(self, leader):
+        """The block whose leader address is ``leader``."""
+        return self.blocks[self._leader_index[leader]]
+
+    def block_of(self, address):
+        """The block containing an arbitrary instruction address."""
+        low, high = 0, len(self.blocks) - 1
+        while low <= high:
+            middle = (low + high) // 2
+            block = self.blocks[middle]
+            if address < block.start:
+                high = middle - 1
+            elif address >= block.end:
+                low = middle + 1
+            else:
+                return block
+        raise KeyError("address %d not in any block" % address)
+
+    @property
+    def leaders(self):
+        return [block.start for block in self.blocks]
+
+    def predecessors(self, leader):
+        """Leader addresses of blocks with a layout edge into ``leader``."""
+        if self._predecessors is None:
+            table = {block.start: [] for block in self.blocks}
+            for block in self.blocks:
+                for successor in block.successors():
+                    table[successor].append(block.start)
+            self._predecessors = table
+        return self._predecessors[leader]
+
+    def instructions_of(self, block):
+        """The instruction objects of ``block`` (a list slice view)."""
+        return self.program.instructions[block.start:block.end]
+
+    def validate(self):
+        """Check partition invariants; raises ValueError on failure."""
+        expected = 0
+        for block in self.blocks:
+            if block.start != expected:
+                raise ValueError("blocks do not partition the program")
+            if block.end <= block.start:
+                raise ValueError("empty block at %d" % block.start)
+            expected = block.end
+        if expected != len(self.program.instructions):
+            raise ValueError("blocks do not cover the program")
+        for block in self.blocks:
+            for successor in block.successors():
+                if successor not in self._leader_index:
+                    raise ValueError(
+                        "successor %d of block %d is not a leader"
+                        % (successor, block.start))
+        return self

@@ -1,0 +1,118 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-branches table3
+    repro-branches all --scale 0.2
+    python -m repro table5 --no-cache
+"""
+
+import argparse
+import sys
+
+from repro.experiments import (
+    figures,
+    headline,
+    storage,
+    summary,
+    sweeps,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.runner import SuiteRunner
+
+_EXPERIMENTS = {
+    "table1": table1.render,
+    "table2": table2.render,
+    "table3": table3.render,
+    "table4": table4.render,
+    "table5": table5.render,
+    "figures": figures.render,
+    "headline": headline.render,
+    "storage": storage.render,
+    "sweeps": sweeps.render,
+    "report": summary.render,
+}
+
+_ORDER = ("table1", "table2", "table3", "table4", "table5", "figures",
+          "headline", "storage")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro-branches",
+        description="Reproduce Hwu/Conte/Chang (ISCA 1989): software vs "
+                    "hardware branch cost reduction.")
+    parser.add_argument("experiment",
+                        choices=sorted(_EXPERIMENTS) + ["all", "trace"],
+                        help="which table/figure to regenerate; 'report' "
+                             "renders everything as markdown; 'trace' "
+                             "dumps a benchmark's branch trace")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="input size multiplier (default 1.0)")
+    parser.add_argument("--runs", type=int, default=None,
+                        help="cap profiling runs per benchmark")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore and do not write the trace cache")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="restrict to these benchmarks")
+    parser.add_argument("--output", default=None,
+                        help="write the result to a file instead of stdout")
+    parser.add_argument("--limit", type=int, default=25,
+                        help="records to show for 'trace' (default 25)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel workers for trace collection "
+                             "(needs the cache enabled)")
+    return parser
+
+
+def _dump_trace(runner, names, limit):
+    """Human-readable dump of the first records of a branch trace."""
+    from repro.vm.tracing import BranchClass
+
+    name = (names or ["wc"])[0]
+    run = runner.run(name)
+    lines = ["branch trace of %s (%d records, %d instructions)"
+             % (name, len(run.trace), run.trace.total_instructions),
+             "%8s  %-22s %-9s %8s %6s" % ("site", "class", "direction",
+                                          "target", "gap")]
+    for index in range(min(limit, len(run.trace))):
+        record = run.trace[index]
+        lines.append("%8d  %-22s %-9s %8d %6d" % (
+            record.site, BranchClass.NAMES[record.branch_class],
+            "taken" if record.taken else "not-taken",
+            record.target, record.gap))
+    if len(run.trace) > limit:
+        lines.append("... %d more records" % (len(run.trace) - limit))
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    runner = SuiteRunner(scale=args.scale, runs=args.runs,
+                         cache_dir=False if args.no_cache else None)
+    names = args.benchmarks
+    if args.workers > 1:
+        from repro.benchmarksuite import ALL_BENCHMARK_NAMES
+        runner.run_all(names or ALL_BENCHMARK_NAMES, workers=args.workers)
+    if args.experiment == "all":
+        text = "\n".join(_EXPERIMENTS[key](runner, names)
+                         for key in _ORDER)
+    elif args.experiment == "trace":
+        text = _dump_trace(runner, names, args.limit)
+    else:
+        text = _EXPERIMENTS[args.experiment](runner, names)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % args.output)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

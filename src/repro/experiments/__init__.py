@@ -1,0 +1,14 @@
+"""Reproduction harness: one module per table/figure of the paper.
+
+The :class:`~repro.experiments.runner.SuiteRunner` compiles each
+benchmark, profiles it over its input suite, applies the Forward
+Semantic layout, collects the evaluation trace, and caches everything
+on disk; the table modules turn those artifacts into the paper's
+tables and figures, each rendered next to the paper's published
+numbers.
+"""
+
+from repro.experiments.runner import BenchmarkRun, SuiteRunner
+from repro.experiments.report import TableData, render_table
+
+__all__ = ["BenchmarkRun", "SuiteRunner", "TableData", "render_table"]

@@ -1,0 +1,50 @@
+"""The abstract's headline comparison.
+
+"The software-based scheme has a cost of 1.65 cycles/branch vs. 1.68
+for the best hardware scheme for a highly pipelined processor
+(11-stage pipeline); 1.19 vs. 1.23 for a moderately pipelined
+processor (5-stage pipeline)."
+
+Working back from the published numbers and the Table 3 averages, the
+two design points correspond to flush penalties k + l_bar + m_bar = 3
+(moderate) and 10 (deep).
+"""
+
+from repro.experiments import paper_values, table3
+from repro.pipeline import branch_cost
+
+
+def compute(runner, names=None):
+    accuracies = table3.average_accuracies(runner, names)
+    results = {}
+    for label, paper in paper_values.HEADLINE.items():
+        flush = paper["flush"]
+        fs_cost = branch_cost(accuracies["FS"], k=flush, l_bar=0, m_bar=0)
+        hardware = {
+            scheme: branch_cost(accuracies[scheme], k=flush, l_bar=0, m_bar=0)
+            for scheme in ("SBTB", "CBTB")
+        }
+        best_scheme = min(hardware, key=hardware.get)
+        results[label] = {
+            "flush": flush,
+            "FS": fs_cost,
+            "best-hardware": hardware[best_scheme],
+            "best-hardware-scheme": best_scheme,
+            "paper-FS": paper["FS"],
+            "paper-best-hardware": paper["best-hardware"],
+        }
+    return results
+
+
+def render(runner, names=None):
+    results = compute(runner, names)
+    lines = ["Headline comparison (cycles/branch, suite-average A)",
+             "====================================================="]
+    for label, row in results.items():
+        lines.append(
+            "%-9s (flush=%2d): FS %.2f vs best hardware (%s) %.2f   "
+            "[paper: %.2f vs %.2f]"
+            % (label, row["flush"], row["FS"],
+               row["best-hardware-scheme"], row["best-hardware"],
+               row["paper-FS"], row["paper-best-hardware"]))
+    return "\n".join(lines) + "\n"

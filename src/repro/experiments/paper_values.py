@@ -1,0 +1,114 @@
+"""The paper's published numbers, transcribed from Tables 1-5.
+
+Used to print measured-vs-paper columns and by the shape-check
+benchmarks (we compare orderings and magnitudes, not absolute values —
+the substrate differs, as DESIGN.md explains).
+"""
+
+BENCHMARKS = ("cccp", "cmp", "compress", "grep", "lex", "make", "tar",
+              "tee", "wc", "yacc")
+
+# Table 1: Lines, Runs, dynamic instructions (millions), Control %.
+TABLE1 = {
+    "cccp": (4660, 20, 11.7, 19),
+    "cmp": (371, 16, 2.2, 22),
+    "compress": (1941, 20, 19.6, 16),
+    "grep": (1302, 20, 47.1, 36),
+    "lex": (3251, 4, 3052.6, 37),
+    "make": (7043, 20, 152.6, 21),
+    "tee": (1063, 18, 0.43, 40),
+    "tar": (3186, 14, 11.0, 14),
+    "wc": (345, 20, 7.8, 28),
+    "yacc": (3333, 8, 313.4, 25),
+}
+
+# Table 2: conditional taken %, not-taken %, unconditional known %,
+# unknown %.
+TABLE2 = {
+    "cccp": (31, 69, 81, 19),
+    "cmp": (20, 80, 100, 0),
+    "compress": (37, 63, 100, 0),
+    "grep": (5, 95, 100, 0),
+    "lex": (49, 51, 100, 0),
+    "make": (49, 51, 100, 0),
+    "tar": (89, 11, 100, 0),
+    "tee": (44, 56, 100, 0),
+    "wc": (24, 76, 100, 0),
+    "yacc": (47, 53, 100, 0),
+}
+TABLE2_AVERAGE = (40, 61, 98, 1.9)
+
+# Table 3: rho_SBTB, A_SBTB %, rho_CBTB, A_CBTB %, A_FS %.
+TABLE3 = {
+    "cccp": (0.57, 90.7, 0.018, 91.5, 89.6),
+    "cmp": (0.70, 97.1, 0.0032, 98.0, 98.6),
+    "compress": (0.49, 87.8, 0.0053, 86.1, 89.1),
+    "grep": (0.76, 93.7, 0.0006, 95.9, 96.0),
+    "lex": (0.36, 98.2, 0.0002, 97.7, 98.0),
+    "make": (0.42, 90.5, 0.012, 92.5, 94.4),
+    "tar": (0.11, 97.9, 0.005, 98.4, 98.7),
+    "tee": (0.39, 84.4, 0.0058, 88.7, 92.2),
+    "wc": (0.54, 85.4, 0.0008, 85.7, 90.4),
+    "yacc": (0.46, 88.9, 0.0012, 89.1, 88.3),
+}
+TABLE3_AVERAGE = (0.48, 91.5, 0.0053, 92.4, 93.5)
+TABLE3_STD = (0.18, 5.06, 0.0058, 4.92, 4.13)
+
+# Table 4: branch cost triples (SBTB, CBTB, FS) at k+l_bar = 2 and 3
+# (m_bar = 1).
+TABLE4_KL2 = {
+    "cccp": (1.19, 1.17, 1.21),
+    "cmp": (1.06, 1.04, 1.03),
+    "compress": (1.24, 1.28, 1.22),
+    "grep": (1.13, 1.08, 1.08),
+    "lex": (1.04, 1.06, 1.04),
+    "make": (1.19, 1.15, 1.11),
+    "tar": (1.04, 1.03, 1.03),
+    "tee": (1.31, 1.23, 1.16),
+    "wc": (1.29, 1.29, 1.19),
+    "yacc": (1.22, 1.22, 1.23),
+}
+TABLE4_KL3 = {
+    "cccp": (1.28, 1.26, 1.31),
+    "cmp": (1.09, 1.06, 1.04),
+    "compress": (1.37, 1.42, 1.33),
+    "grep": (1.19, 1.12, 1.12),
+    "lex": (1.06, 1.07, 1.06),
+    "make": (1.29, 1.23, 1.17),
+    "tar": (1.06, 1.05, 1.04),
+    "tee": (1.47, 1.34, 1.23),
+    "wc": (1.44, 1.43, 1.29),
+    "yacc": (1.33, 1.33, 1.35),
+}
+TABLE4_KL2_AVERAGE = (1.17, 1.15, 1.13)
+TABLE4_KL3_AVERAGE = (1.26, 1.23, 1.19)
+# The average cost increase from k+l=2 to k+l=3, per scheme (Section 3).
+SCALING_INCREASE = {"SBTB": 7.7, "CBTB": 6.9, "FS": 5.3}
+
+# Table 5: % code-size increase at k+l = 1, 2, 4, 8.  Unlike Tables
+# 1-4, the paper's Table 5 also lists eqn and espresso.
+TABLE5_BENCHMARKS = ("cccp", "cmp", "compress", "eqn", "espresso",
+                     "grep", "lex", "make", "tar", "tee", "wc", "yacc")
+TABLE5 = {
+    "eqn": (3.50, 7.44, 14.87, 44.26),
+    "espresso": (4.19, 8.51, 17.82, 39.28),
+    "cccp": (2.79, 5.80, 11.75, 29.57),
+    "cmp": (1.87, 3.74, 7.48, 14.96),
+    "compress": (2.10, 4.15, 8.82, 20.26),
+    "grep": (1.55, 3.36, 6.96, 15.81),
+    "lex": (5.68, 11.34, 24.08, 53.73),
+    "make": (3.93, 7.96, 16.35, 37.76),
+    "tar": (2.82, 5.89, 12.18, 27.17),
+    "tee": (1.29, 2.52, 5.34, 10.75),
+    "wc": (1.70, 3.41, 8.52, 19.00),
+    "yacc": (7.41, 15.43, 35.21, 82.92),
+}
+TABLE5_AVERAGE = (3.24, 6.61, 14.12, 32.96)  # includes eqn + espresso
+
+# Abstract headline: cycles/branch, software scheme vs best hardware
+# scheme, for a moderately (5-stage) and highly (11-stage) pipelined
+# processor.
+HEADLINE = {
+    "5-stage": {"FS": 1.19, "best-hardware": 1.23, "flush": 3},
+    "11-stage": {"FS": 1.65, "best-hardware": 1.68, "flush": 10},
+}

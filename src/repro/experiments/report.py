@@ -1,0 +1,121 @@
+"""Table rendering shared by all experiment modules."""
+
+import math
+
+
+class TableData:
+    """A computed table: rows of cells plus presentation metadata.
+
+    Attributes:
+        title: table caption.
+        headers: column names.
+        rows: list of row lists (first cell is usually the benchmark).
+        notes: list of footnote strings.
+    """
+
+    def __init__(self, title, headers, rows, notes=()):
+        self.title = title
+        self.headers = list(headers)
+        self.rows = [list(row) for row in rows]
+        self.notes = list(notes)
+
+    def column(self, index):
+        """Numeric values of one column (skipping non-numeric cells)."""
+        values = []
+        for row in self.rows:
+            cell = row[index]
+            if isinstance(cell, (int, float)):
+                values.append(cell)
+        return values
+
+
+def _format_cell(cell):
+    if isinstance(cell, float):
+        return "%.4g" % cell
+    return str(cell)
+
+
+def render_table(data):
+    """Render a :class:`TableData` as an aligned ASCII table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in data.rows]
+    widths = [len(header) for header in data.headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells):
+        return "  ".join(cell.rjust(width) if index else cell.ljust(width)
+                         for index, (cell, width)
+                         in enumerate(zip(cells, widths)))
+
+    parts = [data.title, "=" * len(data.title),
+             line(data.headers),
+             "-" * (sum(widths) + 2 * (len(widths) - 1))]
+    parts.extend(line(row) for row in formatted)
+    for note in data.notes:
+        parts.append("  note: %s" % note)
+    return "\n".join(parts) + "\n"
+
+
+def mean(values):
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def std_dev(values):
+    """Population standard deviation (matches the paper's table rows)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    centre = mean(values)
+    return math.sqrt(sum((value - centre) ** 2 for value in values)
+                     / len(values))
+
+
+def render_series_plot(series_by_label, width=60, height=18,
+                       x_label="x", y_label="y", title=""):
+    """ASCII plot of several (x, y) series — the Figures 3-4 renderer.
+
+    Args:
+        series_by_label: mapping label -> list of (x, y) pairs; each
+            label's first character marks its points.
+    """
+    points = [point for series in series_by_label.values()
+              for point in series]
+    if not points:
+        return "(no data)\n"
+    xs = [point[0] for point in points]
+    ys = [point[1] for point in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, series in series_by_label.items():
+        mark = label[0]
+        for x, y in series:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = height - 1 - int((y - y_low) / y_span * (height - 1))
+            grid[row][column] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = "%8.2f |" % y_high
+        elif index == height - 1:
+            prefix = "%8.2f |" % y_low
+        else:
+            prefix = "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append("          %-8.2f%s%8.2f  (%s)"
+                 % (x_low, " " * (width - 18), x_high, x_label))
+    legend = "  ".join("%s = %s" % (label[0], label)
+                       for label in series_by_label)
+    lines.append("          " + legend)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,254 @@
+"""Benchmark execution and caching for the experiment harness.
+
+For each benchmark the runner performs the paper's methodology:
+
+1. compile the Minic source (the "executable intermediate form"),
+2. profile it over the input suite with basic-block probes,
+3. recompile with trace selection + layout, setting likely bits,
+4. run the laid-out program over the same input suite, collecting the
+   evaluation branch trace (the paper profiles and measures on the
+   same inputs, which it notes explicitly),
+5. simulate the predictors over the trace and size the forward-slot
+   expansions.
+
+Steps 2 and 4 dominate the cost, so their outputs (profile JSON and
+trace arrays) are cached on disk keyed by benchmark, scale, run count,
+and a format version.  Everything else is recomputed deterministically
+from those artifacts.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchmarksuite import get_benchmark
+from repro.lang import compile_source
+from repro.profiling import Profile, profile_program
+from repro.traceopt import build_fs_program, fill_forward_slots
+from repro.predictors import (
+    CounterBTB,
+    ForwardSemanticPredictor,
+    SimpleBTB,
+    simulate,
+)
+from repro.vm import BranchTrace, run_program
+
+CACHE_FORMAT_VERSION = 1
+
+SLOT_COUNTS = (1, 2, 4, 8)  # the k + l values of Table 5
+
+SCHEMES = ("SBTB", "CBTB", "FS")
+
+
+class BenchmarkRun:
+    """All measured artifacts for one benchmark at one scale."""
+
+    def __init__(self, name, spec, program, layout, profile, trace,
+                 scale, runs):
+        self.name = name
+        self.spec = spec
+        self.program = program          # base compiled program
+        self.layout = layout            # LayoutResult (FS program inside)
+        self.profile = profile
+        self.trace = trace              # merged evaluation trace
+        self.scale = scale
+        self.runs = runs
+        self._stats = None
+        self._predictions = None
+        self._expansions = None
+
+    @property
+    def fs_program(self):
+        return self.layout.program
+
+    @property
+    def stats(self):
+        """Trace statistics (Tables 1 and 2)."""
+        if self._stats is None:
+            self._stats = self.trace.stats()
+        return self._stats
+
+    @property
+    def source_lines(self):
+        return self.spec.source_lines()
+
+    def predictions(self, entries=256, associativity=None,
+                    counter_bits=2, threshold=2):
+        """PredictionStats per scheme over the evaluation trace.
+
+        The default parameters are the paper's configuration; the
+        result for that configuration is memoised.
+        """
+        default = (entries == 256 and associativity is None
+                   and counter_bits == 2 and threshold == 2)
+        if default and self._predictions is not None:
+            return self._predictions
+        results = {
+            "SBTB": simulate(SimpleBTB(entries, associativity), self.trace),
+            "CBTB": simulate(
+                CounterBTB(entries, associativity, counter_bits, threshold),
+                self.trace),
+            "FS": simulate(
+                ForwardSemanticPredictor(program=self.fs_program), self.trace),
+        }
+        if default:
+            self._predictions = results
+        return results
+
+    def expansions(self):
+        """Table 5's code-size reports, one per slot count."""
+        if self._expansions is None:
+            self._expansions = {
+                n_slots: fill_forward_slots(self.fs_program, n_slots)[1]
+                for n_slots in SLOT_COUNTS
+            }
+        return self._expansions
+
+
+def default_cache_dir():
+    """The trace cache location (REPRO_CACHE_DIR overrides)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+class SuiteRunner:
+    """Runs benchmarks and caches their traces and profiles.
+
+    Args:
+        scale: input size multiplier (1.0 = paper-scale).
+        runs: cap on profiling runs per benchmark (None = the spec's
+            full suite).
+        cache_dir: trace cache directory; None = default; False
+            disables caching entirely.
+        max_instructions: per-run execution budget.
+    """
+
+    def __init__(self, scale=1.0, runs=None, cache_dir=None,
+                 max_instructions=500_000_000):
+        self.scale = scale
+        self.runs = runs
+        if cache_dir is False:
+            self.cache_dir = None
+        else:
+            self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.max_instructions = max_instructions
+        self._memo = {}
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def _cache_paths(self, name, n_runs, source):
+        if self.cache_dir is None:
+            return None, None
+        # The source hash invalidates cached traces whenever the
+        # benchmark program (or the compiler output feeding it) changes.
+        digest = hashlib.sha1(source.encode()).hexdigest()[:10]
+        stem = "%s-s%s-r%d-v%d-%s" % (name, repr(self.scale), n_runs,
+                                      CACHE_FORMAT_VERSION, digest)
+        stem = stem.replace(".", "_")
+        return (self.cache_dir / (stem + ".npz"),
+                self.cache_dir / (stem + ".json"))
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, name):
+        """Produce (and memoise) the :class:`BenchmarkRun` for ``name``."""
+        if name in self._memo:
+            return self._memo[name]
+
+        spec = get_benchmark(name)
+        n_runs = spec.runs if self.runs is None else min(self.runs, spec.runs)
+        program = compile_source(spec.source, name=name)
+
+        trace_path, profile_path = self._cache_paths(name, n_runs,
+                                                     spec.source)
+        profile = None
+        trace = None
+        if trace_path is not None and trace_path.exists() and profile_path.exists():
+            try:
+                with np.load(trace_path) as arrays:
+                    trace = BranchTrace.from_arrays(arrays)
+                profile = Profile.from_dict(
+                    json.loads(profile_path.read_text()))
+            except Exception:
+                trace = None
+                profile = None
+
+        if trace is None or profile is None:
+            profile, trace = self._execute(spec, program, n_runs)
+            if trace_path is not None:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                np.savez_compressed(trace_path, **trace.to_arrays())
+                profile_path.write_text(json.dumps(profile.to_dict()))
+
+        layout = build_fs_program(program, profile)
+        run = BenchmarkRun(name, spec, program, layout, profile, trace,
+                           self.scale, n_runs)
+        self._memo[name] = run
+        return run
+
+    def _execute(self, spec, program, n_runs):
+        """The two VM passes: profile the base program, trace the laid-out
+        program, verifying output equality along the way."""
+        suite = spec.input_suite(scale=self.scale, runs=n_runs)
+        profile, base_outputs = profile_program(
+            program, suite, max_instructions=self.max_instructions)
+        layout = build_fs_program(program, profile)
+
+        merged = None
+        for index, streams in enumerate(suite):
+            result = run_program(layout.program, inputs=streams, trace=True,
+                                 max_instructions=self.max_instructions)
+            if result.output != base_outputs[index]:
+                raise RuntimeError(
+                    "layout changed the output of %s run %d"
+                    % (spec.name, index))
+            if merged is None:
+                merged = result.trace
+            else:
+                merged.extend(result.trace)
+        return profile, merged
+
+    def run_all(self, names=None, workers=None):
+        """Run every benchmark (or ``names``); returns name -> run.
+
+        Args:
+            workers: when > 1 and the disk cache is enabled, warm the
+                cache with a process pool (each worker executes a
+                subset of benchmarks and writes its trace files), then
+                load everything in this process.  Serial otherwise.
+        """
+        from repro.benchmarksuite import BENCHMARK_NAMES
+        names = list(names or BENCHMARK_NAMES)
+        if workers and workers > 1 and self.cache_dir is not None:
+            self._warm_parallel(names, workers)
+        return {name: self.run(name) for name in names}
+
+    def _warm_parallel(self, names, workers):
+        import concurrent.futures
+
+        pending = [name for name in names if name not in self._memo]
+        if not pending:
+            return
+        arguments = [
+            (name, self.scale, self.runs, str(self.cache_dir),
+             self.max_instructions)
+            for name in pending
+        ]
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))) as pool:
+            # Any worker failure propagates here.
+            list(pool.map(_warm_cache_entry, arguments))
+
+
+def _warm_cache_entry(arguments):
+    """Worker: execute one benchmark so its trace cache exists."""
+    name, scale, runs, cache_dir, max_instructions = arguments
+    runner = SuiteRunner(scale=scale, runs=runs, cache_dir=cache_dir,
+                         max_instructions=max_instructions)
+    runner.run(name)
+    return name

@@ -1,0 +1,51 @@
+"""Storage comparison: the conclusion's silicon argument as a table.
+
+Not a numbered table in the paper, but the closing argument: BTB
+schemes consume on-chip area that grows linearly with k, while the
+Forward Semantic spends only instruction memory (its forward slots).
+"""
+
+from repro.experiments import paper_values
+from repro.experiments.report import TableData, mean
+from repro.pipeline import compare_storage
+
+KS = (1, 2, 4, 8)
+
+
+def compute(runner, names=None):
+    names = names or paper_values.BENCHMARKS
+    rows = []
+    for k in KS:
+        fs_bits = []
+        sbtb_bits = cbtb_bits = None
+        for name in names:
+            run = runner.run(name)
+            expansions = run.expansions()
+            costs = compare_storage(expansions[k], entries=256, k=k)
+            sbtb_bits = costs["SBTB"].on_chip_bits
+            cbtb_bits = costs["CBTB"].on_chip_bits
+            fs_bits.append(costs["FS"].instruction_memory_bits)
+        rows.append([
+            "k+l=%d" % k,
+            round(sbtb_bits / 1024, 1),
+            round(cbtb_bits / 1024, 1),
+            round(mean(fs_bits) / 1024, 2),
+            round(max(fs_bits) / 1024, 2),
+        ])
+    return TableData(
+        "Storage cost of each scheme (256-entry BTBs, 32-bit words)",
+        ["Design point", "SBTB on-chip Kb", "CBTB on-chip Kb",
+         "FS instr-mem Kb (avg)", "FS (max)"],
+        rows,
+        notes=[
+            "BTB entries hold tag + target + k target instructions "
+            "(+ counter for the CBTB)",
+            "the Forward Semantic needs no on-chip prediction storage; "
+            "its cost is the forward-slot code expansion",
+        ],
+    )
+
+
+def render(runner, names=None):
+    from repro.experiments.report import render_table
+    return render_table(compute(runner, names))

@@ -1,0 +1,50 @@
+"""Full-report generation: every table and figure in one document."""
+
+from repro.experiments import (
+    figures,
+    headline,
+    storage,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+_SECTIONS = (
+    ("Table 1 — benchmark characteristics", table1),
+    ("Table 2 — branch statistics", table2),
+    ("Table 3 — branch prediction performance", table3),
+    ("Table 4 — branch cost at k+l_bar = 2 and 3", table4),
+    ("Table 5 — forward-slot code expansion", table5),
+    ("Figures 3 and 4 — cost vs pipeline depth", figures),
+    ("Headline — the abstract's comparison", headline),
+    ("Storage — the silicon argument", storage),
+)
+
+
+def generate(runner, names=None):
+    """Render the complete reproduction report as markdown text."""
+    parts = [
+        "# Reproduction report",
+        "",
+        "Hwu, Conte & Chang, *Comparing Software and Hardware Schemes "
+        "For Reducing the Cost of Branches* (ISCA 1989).",
+        "",
+        "Input scale %s, %s benchmark runs per spec." % (
+            runner.scale,
+            "default" if runner.runs is None else runner.runs),
+        "",
+    ]
+    for title, module in _SECTIONS:
+        parts.append("## %s" % title)
+        parts.append("")
+        parts.append("```")
+        parts.append(module.render(runner, names).rstrip())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def render(runner, names=None):
+    return generate(runner, names)

@@ -1,0 +1,90 @@
+"""Hardware design-space sweeps over the cached traces.
+
+Library form of the ablation benchmarks: each sweep returns a
+:class:`~repro.experiments.report.TableData` of suite-average
+accuracies over a hardware parameter grid, reusing the runner's cached
+traces.  Exposed on the CLI as the ``sweeps`` experiment.
+"""
+
+from repro.experiments import paper_values
+from repro.experiments.report import TableData, mean
+from repro.predictors import CounterBTB, SimpleBTB, simulate
+
+
+def _average_accuracy(runner, names, make_predictor):
+    accuracies = []
+    for name in names:
+        run = runner.run(name)
+        accuracies.append(simulate(make_predictor(), run.trace).accuracy)
+    return mean(accuracies)
+
+
+def capacity_sweep(runner, names=None, capacities=(16, 64, 256, 1024)):
+    """BTB entry count vs accuracy for both buffered schemes."""
+    names = names or paper_values.BENCHMARKS
+    rows = []
+    for entries in capacities:
+        rows.append([
+            entries,
+            round(_average_accuracy(
+                runner, names, lambda: SimpleBTB(entries)), 4),
+            round(_average_accuracy(
+                runner, names, lambda: CounterBTB(entries)), 4),
+        ])
+    return TableData(
+        "BTB capacity sweep (suite-average accuracy)",
+        ["Entries", "A_SBTB", "A_CBTB"],
+        rows,
+        notes=["the paper's configuration is 256 entries"],
+    )
+
+
+def associativity_sweep(runner, names=None, ways=(1, 2, 4, 8, None),
+                        entries=256):
+    """Associativity vs accuracy at fixed capacity."""
+    names = names or paper_values.BENCHMARKS
+    rows = []
+    for associativity in ways:
+        label = "full" if associativity is None else associativity
+        rows.append([
+            label,
+            round(_average_accuracy(
+                runner, names,
+                lambda: SimpleBTB(entries, associativity)), 4),
+            round(_average_accuracy(
+                runner, names,
+                lambda: CounterBTB(entries, associativity)), 4),
+        ])
+    return TableData(
+        "BTB associativity sweep at %d entries" % entries,
+        ["Ways", "A_SBTB", "A_CBTB"],
+        rows,
+        notes=["the paper used full associativity and flags the bias"],
+    )
+
+
+def counter_sweep(runner, names=None,
+                  configurations=((1, 1), (2, 1), (2, 2), (3, 4), (4, 8))):
+    """CBTB counter width / threshold grid."""
+    names = names or paper_values.BENCHMARKS
+    rows = []
+    for bits, threshold in configurations:
+        rows.append([
+            "%d-bit, T=%d" % (bits, threshold),
+            round(_average_accuracy(
+                runner, names,
+                lambda: CounterBTB(counter_bits=bits,
+                                   threshold=threshold)), 4),
+        ])
+    return TableData(
+        "CBTB counter geometry sweep",
+        ["Counter", "A_CBTB"],
+        rows,
+        notes=["the paper follows J. E. Smith: 2-bit, threshold 2"],
+    )
+
+
+def render(runner, names=None):
+    from repro.experiments.report import render_table
+    return "\n".join(render_table(sweep(runner, names)) for sweep in
+                     (capacity_sweep, associativity_sweep, counter_sweep))

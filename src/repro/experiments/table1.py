@@ -1,0 +1,39 @@
+"""Table 1: benchmark characteristics."""
+
+from repro.experiments import paper_values
+from repro.experiments.report import TableData
+
+
+def compute(runner, names=None):
+    """Measured benchmark characteristics next to the paper's."""
+    names = names or paper_values.BENCHMARKS
+    rows = []
+    for name in names:
+        run = runner.run(name)
+        paper = paper_values.TABLE1[name]
+        stats = run.stats
+        rows.append([
+            name,
+            run.source_lines,
+            run.runs,
+            stats.total_instructions,
+            round(100.0 * stats.control_fraction, 1),
+            paper[0], paper[1],
+            "%.2gM" % paper[2],
+            paper[3],
+        ])
+    return TableData(
+        "Table 1: benchmark characteristics (measured | paper)",
+        ["Benchmark", "Lines", "Runs", "Inst.", "Control%",
+         "p.Lines", "p.Runs", "p.Inst", "p.Ctl%"],
+        rows,
+        notes=[
+            "measured Lines are Minic source lines; the paper counts C lines",
+            "measured Inst. are scaled down (interpreted VM); see DESIGN.md",
+        ],
+    )
+
+
+def render(runner, names=None):
+    from repro.experiments.report import render_table
+    return render_table(compute(runner, names))

@@ -1,0 +1,43 @@
+"""Table 2: benchmark branch statistics."""
+
+from repro.experiments import paper_values
+from repro.experiments.report import TableData, mean
+
+
+def compute(runner, names=None):
+    names = names or paper_values.BENCHMARKS
+    rows = []
+    taken, not_taken, known, unknown = [], [], [], []
+    for name in names:
+        run = runner.run(name)
+        stats = run.stats
+        taken_pct = 100.0 * stats.taken_fraction
+        known_pct = 100.0 * stats.known_fraction
+        taken.append(taken_pct)
+        not_taken.append(100.0 - taken_pct)
+        known.append(known_pct)
+        unknown.append(100.0 - known_pct)
+        paper = paper_values.TABLE2[name]
+        rows.append([
+            name,
+            round(taken_pct, 1), round(100.0 - taken_pct, 1),
+            round(known_pct, 1), round(100.0 - known_pct, 1),
+            paper[0], paper[1], paper[2], paper[3],
+        ])
+    paper_avg = paper_values.TABLE2_AVERAGE
+    rows.append(["Average",
+                 round(mean(taken), 1), round(mean(not_taken), 1),
+                 round(mean(known), 1), round(mean(unknown), 1),
+                 paper_avg[0], paper_avg[1], paper_avg[2], paper_avg[3]])
+    return TableData(
+        "Table 2: branch statistics, % of dynamic branches "
+        "(measured | paper)",
+        ["Benchmark", "Taken", "Not", "Known", "Unknown",
+         "p.Tkn", "p.Not", "p.Knw", "p.Unk"],
+        rows,
+    )
+
+
+def render(runner, names=None):
+    from repro.experiments.report import render_table
+    return render_table(compute(runner, names))

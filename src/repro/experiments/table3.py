@@ -1,0 +1,59 @@
+"""Table 3: branch prediction performance (the paper's core table)."""
+
+from repro.experiments import paper_values
+from repro.experiments.report import TableData, mean, std_dev
+
+
+def compute(runner, names=None):
+    names = names or paper_values.BENCHMARKS
+    rows = []
+    columns = {key: [] for key in
+               ("rho_s", "a_s", "rho_c", "a_c", "a_fs")}
+    for name in names:
+        run = runner.run(name)
+        predictions = run.predictions()
+        rho_s = predictions["SBTB"].miss_ratio
+        a_s = 100.0 * predictions["SBTB"].accuracy
+        rho_c = predictions["CBTB"].miss_ratio
+        a_c = 100.0 * predictions["CBTB"].accuracy
+        a_fs = 100.0 * predictions["FS"].accuracy
+        for key, value in zip(columns, (rho_s, a_s, rho_c, a_c, a_fs)):
+            columns[key].append(value)
+        paper = paper_values.TABLE3[name]
+        rows.append([name,
+                     round(rho_s, 2), round(a_s, 1),
+                     round(rho_c, 4), round(a_c, 1), round(a_fs, 1),
+                     paper[0], paper[1], paper[2], paper[3], paper[4]])
+
+    paper_avg = paper_values.TABLE3_AVERAGE
+    paper_std = paper_values.TABLE3_STD
+    rows.append(["Average"]
+                + [round(mean(columns[key]), 4 if "rho" in key else 1)
+                   for key in columns]
+                + list(paper_avg))
+    rows.append(["Std. dev."]
+                + [round(std_dev(columns[key]), 4 if "rho" in key else 2)
+                   for key in columns]
+                + list(paper_std))
+    return TableData(
+        "Table 3: branch prediction performance (measured | paper)",
+        ["Benchmark", "rhoS", "A_S%", "rhoC", "A_C%", "A_FS%",
+         "p.rhoS", "p.A_S", "p.rhoC", "p.A_C", "p.A_FS"],
+        rows,
+    )
+
+
+def average_accuracies(runner, names=None):
+    """The suite-average accuracy per scheme (feeds Figures 3-4)."""
+    names = names or paper_values.BENCHMARKS
+    totals = {"SBTB": [], "CBTB": [], "FS": []}
+    for name in names:
+        predictions = runner.run(name).predictions()
+        for scheme in totals:
+            totals[scheme].append(predictions[scheme].accuracy)
+    return {scheme: mean(values) for scheme, values in totals.items()}
+
+
+def render(runner, names=None):
+    from repro.experiments.report import render_table
+    return render_table(compute(runner, names))

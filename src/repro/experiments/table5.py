@@ -1,0 +1,38 @@
+"""Table 5: code-size increase from forward slots, k + l = 1, 2, 4, 8."""
+
+from repro.experiments import paper_values
+from repro.experiments.report import TableData, mean, std_dev
+from repro.experiments.runner import SLOT_COUNTS
+
+
+def compute(runner, names=None):
+    names = names or paper_values.TABLE5_BENCHMARKS
+    rows = []
+    measured = {n: [] for n in SLOT_COUNTS}
+    for name in names:
+        run = runner.run(name)
+        expansions = run.expansions()
+        values = [100.0 * expansions[n].expansion_fraction
+                  for n in SLOT_COUNTS]
+        for n, value in zip(SLOT_COUNTS, values):
+            measured[n].append(value)
+        rows.append([name]
+                    + [round(value, 2) for value in values]
+                    + list(paper_values.TABLE5[name]))
+    rows.append(["Average"]
+                + [round(mean(measured[n]), 2) for n in SLOT_COUNTS]
+                + list(paper_values.TABLE5_AVERAGE))
+    rows.append(["Std. dev."]
+                + [round(std_dev(measured[n]), 2) for n in SLOT_COUNTS]
+                + ["", "", "", ""])
+    return TableData(
+        "Table 5: % code-size increase vs k+l (measured | paper)",
+        ["Benchmark", "k+l=1", "k+l=2", "k+l=4", "k+l=8",
+         "p.1", "p.2", "p.4", "p.8"],
+        rows,
+    )
+
+
+def render(runner, names=None):
+    from repro.experiments.report import render_table
+    return render_table(compute(runner, names))

@@ -1,0 +1,52 @@
+"""Instruction-set architecture for the reproduction.
+
+The unit of measurement in the paper is the *compiler intermediate
+instruction* produced by the IMPACT C compiler.  This package defines an
+equivalent RISC-like intermediate instruction set:
+
+* a load/store register machine with per-call-frame virtual registers,
+* compare-and-branch conditional branches (the paper assumes comparisons
+  are part of branch semantics, not condition codes),
+* direct jumps and calls (known-target unconditional branches) and
+  indirect jumps/returns (unknown-target unconditional branches),
+* a handful of I/O instructions standing in for the C library calls the
+  original Unix benchmarks made.
+
+Instruction addresses are indices into a :class:`Program`'s instruction
+list; one instruction occupies one address, which is also the unit of
+static code size used by Table 5.
+"""
+
+from repro.isa.opcodes import (
+    Opcode,
+    ALU_OPCODES,
+    CONDITIONAL_BRANCHES,
+    UNCONDITIONAL_BRANCHES,
+    KNOWN_TARGET_BRANCHES,
+    UNKNOWN_TARGET_BRANCHES,
+    BRANCH_OPCODES,
+    COMMUTATIVE_OPCODES,
+    invert_branch,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program, JumpTable, ProgramError
+from repro.isa.assembler import assemble, disassemble, AssemblyError
+
+__all__ = [
+    "Opcode",
+    "ALU_OPCODES",
+    "CONDITIONAL_BRANCHES",
+    "UNCONDITIONAL_BRANCHES",
+    "KNOWN_TARGET_BRANCHES",
+    "UNKNOWN_TARGET_BRANCHES",
+    "BRANCH_OPCODES",
+    "COMMUTATIVE_OPCODES",
+    "invert_branch",
+    "Instruction",
+    "Program",
+    "JumpTable",
+    "ProgramError",
+    "assemble",
+    "disassemble",
+    "AssemblyError",
+]

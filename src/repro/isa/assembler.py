@@ -1,0 +1,302 @@
+"""Textual assembler and disassembler for the intermediate ISA.
+
+The assembly format exists for tests, examples, and debugging; the
+benchmarks are produced by the Minic compiler, not written by hand.
+
+Syntax::
+
+    ; comment
+    .globals 64              ; words of zeroed global memory
+    .init 3 42               ; data segment: memory[3] starts as 42
+    .table mytab L1 L2 L3    ; jump table of code labels
+
+    func main:               ; function entry (also a label)
+        li r1, 10
+    loop:                    ; plain label
+        sub r1, r1, r2
+        bgt r1, r0, loop
+        halt
+
+Operand shapes by opcode follow :mod:`repro.isa.instruction`; the
+disassembler emits text that re-assembles to a semantically equal
+program (see the round-trip property test).
+"""
+
+import re
+
+from repro.isa.opcodes import Opcode, ALU_OPCODES, CONDITIONAL_BRANCHES
+from repro.isa.program import Program
+
+_TWO_SOURCE_ALU = ALU_OPCODES - {Opcode.NEG, Opcode.NOT}
+
+_REGISTER_RE = re.compile(r"^r(\d+)$")
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.$]*$")
+
+
+class AssemblyError(Exception):
+    """Raised on malformed assembly text."""
+
+    def __init__(self, message, line_number=None):
+        if line_number is not None:
+            message = "line %d: %s" % (line_number, message)
+        super().__init__(message)
+        self.line_number = line_number
+
+
+def _parse_register(token, line_number):
+    match = _REGISTER_RE.match(token)
+    if not match:
+        raise AssemblyError("expected register, got %r" % token, line_number)
+    return int(match.group(1))
+
+
+def _parse_int(token, line_number):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError("expected integer, got %r" % token, line_number)
+
+
+def _parse_label(token, line_number):
+    if not _LABEL_RE.match(token):
+        raise AssemblyError("expected label, got %r" % token, line_number)
+    return token
+
+
+def assemble(text, name="program"):
+    """Assemble ``text`` into a resolved :class:`Program`."""
+    program = Program(name)
+    table_names = {}
+    pending_tables = []
+
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split(";", 1)[0].strip()
+        if not line:
+            continue
+
+        if line.startswith(".globals"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblyError("usage: .globals <words>", line_number)
+            program.globals_size = _parse_int(parts[1], line_number)
+            continue
+
+        if line.startswith(".init"):
+            parts = line.split()
+            if len(parts) != 3:
+                raise AssemblyError("usage: .init <address> <value>",
+                                    line_number)
+            address = _parse_int(parts[1], line_number)
+            value = _parse_int(parts[2], line_number)
+            if address < 0:
+                raise AssemblyError("negative .init address", line_number)
+            program.data_init[address] = value
+            continue
+
+        if line.startswith(".table"):
+            parts = line.split()
+            if len(parts) < 3:
+                raise AssemblyError("usage: .table <name> <labels...>", line_number)
+            table_name = _parse_label(parts[1], line_number)
+            entries = [_parse_label(entry, line_number) for entry in parts[2:]]
+            table_names[table_name] = len(pending_tables)
+            pending_tables.append((table_name, entries))
+            continue
+
+        if line.startswith("func "):
+            rest = line[len("func "):].strip()
+            if not rest.endswith(":"):
+                raise AssemblyError("function definition must end with ':'", line_number)
+            func_name = _parse_label(rest[:-1].strip(), line_number)
+            label = "_func_%s" % func_name
+            program.mark_label(label)
+            # Also bind the bare name so `call add2` works in hand-written
+            # assembly alongside the canonical `_func_add2` label.
+            program.mark_label(func_name)
+            program.functions[func_name] = label
+            continue
+
+        if line.endswith(":"):
+            program.mark_label(_parse_label(line[:-1].strip(), line_number))
+            continue
+
+        _assemble_instruction(program, line, line_number, table_names)
+
+    for table_name, entries in pending_tables:
+        program.add_jump_table(table_name, entries)
+    program.resolve()
+    program.validate()
+    return program
+
+
+def _operands(line, line_number):
+    mnemonic, _, rest = line.partition(" ")
+    operands = [token.strip() for token in rest.split(",")] if rest.strip() else []
+    try:
+        opcode = Opcode(mnemonic.strip())
+    except ValueError:
+        raise AssemblyError("unknown opcode %r" % mnemonic, line_number)
+    return opcode, operands
+
+
+def _require(operands, count, opcode, line_number):
+    if len(operands) != count:
+        raise AssemblyError(
+            "%s takes %d operand(s), got %d" % (opcode.value, count, len(operands)),
+            line_number,
+        )
+
+
+def _assemble_instruction(program, line, line_number, table_names):
+    opcode, ops = _operands(line, line_number)
+
+    if opcode is Opcode.LI:
+        _require(ops, 2, opcode, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number),
+                     imm=_parse_int(ops[1], line_number))
+    elif opcode is Opcode.MOV:
+        _require(ops, 2, opcode, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number),
+                     a=_parse_register(ops[1], line_number))
+    elif opcode is Opcode.LOAD:
+        _require(ops, 3, opcode, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number),
+                     a=_parse_register(ops[1], line_number),
+                     imm=_parse_int(ops[2], line_number))
+    elif opcode is Opcode.STORE:
+        _require(ops, 3, opcode, line_number)
+        program.emit(opcode, a=_parse_register(ops[0], line_number),
+                     b=_parse_register(ops[1], line_number),
+                     imm=_parse_int(ops[2], line_number))
+    elif opcode in _TWO_SOURCE_ALU:
+        _require(ops, 3, opcode, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number),
+                     a=_parse_register(ops[1], line_number),
+                     b=_parse_register(ops[2], line_number))
+    elif opcode in (Opcode.NEG, Opcode.NOT):
+        _require(ops, 2, opcode, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number),
+                     a=_parse_register(ops[1], line_number))
+    elif opcode in CONDITIONAL_BRANCHES:
+        _require(ops, 3, opcode, line_number)
+        program.emit(opcode, a=_parse_register(ops[0], line_number),
+                     b=_parse_register(ops[1], line_number),
+                     target=_parse_label(ops[2], line_number))
+    elif opcode in (Opcode.JUMP, Opcode.CALL):
+        _require(ops, 1, opcode, line_number)
+        program.emit(opcode, target=_parse_label(ops[0], line_number))
+    elif opcode is Opcode.RET:
+        _require(ops, 0, opcode, line_number)
+        program.emit(opcode)
+    elif opcode is Opcode.JIND:
+        _require(ops, 1, opcode, line_number)
+        program.emit(opcode, a=_parse_register(ops[0], line_number))
+    elif opcode is Opcode.ARG:
+        _require(ops, 2, opcode, line_number)
+        program.emit(opcode, imm=_parse_int(ops[0], line_number),
+                     a=_parse_register(ops[1], line_number))
+    elif opcode is Opcode.RETV:
+        _require(ops, 1, opcode, line_number)
+        program.emit(opcode, a=_parse_register(ops[0], line_number))
+    elif opcode is Opcode.RESULT:
+        _require(ops, 1, opcode, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number))
+    elif opcode is Opcode.TABLE:
+        _require(ops, 3, opcode, line_number)
+        table_token = ops[1]
+        if table_token in table_names:
+            table_id = table_names[table_token]
+        else:
+            table_id = _parse_int(table_token, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number),
+                     imm=table_id, a=_parse_register(ops[2], line_number))
+    elif opcode is Opcode.GETC:
+        _require(ops, 2, opcode, line_number)
+        program.emit(opcode, dest=_parse_register(ops[0], line_number),
+                     imm=_parse_int(ops[1], line_number))
+    elif opcode in (Opcode.PUTC, Opcode.PUTI):
+        _require(ops, 1, opcode, line_number)
+        program.emit(opcode, a=_parse_register(ops[0], line_number))
+    elif opcode in (Opcode.HALT, Opcode.NOP):
+        _require(ops, 0, opcode, line_number)
+        program.emit(opcode)
+    else:  # pragma: no cover - exhaustive above
+        raise AssemblyError("unhandled opcode %r" % opcode, line_number)
+
+
+def disassemble(program):
+    """Render a resolved program back to assembly text.
+
+    Labels are synthesised (``L<address>``) for every branch target and
+    jump-table entry; function entries keep their names.  The output
+    re-assembles into a semantically equal program.
+    """
+    target_addresses = set()
+    for _, instr in program.branch_addresses():
+        if isinstance(instr.target, int):
+            target_addresses.add(instr.target)
+    for table in program.jump_tables:
+        target_addresses.update(
+            entry for entry in table.entries if isinstance(entry, int)
+        )
+
+    label_at = {address: "L%d" % address for address in sorted(target_addresses)}
+    function_at = {}
+    for func_name, label in program.functions.items():
+        function_at[program.labels[label]] = func_name
+
+    lines = []
+    if program.globals_size:
+        lines.append(".globals %d" % program.globals_size)
+    for address in sorted(program.data_init):
+        lines.append(".init %d %d" % (address, program.data_init[address]))
+    for index, table in enumerate(program.jump_tables):
+        entries = " ".join(label_at[entry] for entry in table.entries)
+        lines.append(".table %s %s" % (table.name or "tab%d" % index, entries))
+
+    for address, instr in enumerate(program.instructions):
+        if address in function_at:
+            lines.append("func %s:" % function_at[address])
+        if address in label_at:
+            lines.append("%s:" % label_at[address])
+        lines.append("    " + _format_instruction(instr, label_at, program))
+    return "\n".join(lines) + "\n"
+
+
+def _format_instruction(instr, label_at, program):
+    op = instr.op
+    if op is Opcode.LI:
+        return "li r%d, %d" % (instr.dest, instr.imm)
+    if op is Opcode.MOV:
+        return "mov r%d, r%d" % (instr.dest, instr.a)
+    if op is Opcode.LOAD:
+        return "load r%d, r%d, %d" % (instr.dest, instr.a, instr.imm)
+    if op is Opcode.STORE:
+        return "store r%d, r%d, %d" % (instr.a, instr.b, instr.imm)
+    if op in _TWO_SOURCE_ALU:
+        return "%s r%d, r%d, r%d" % (op.value, instr.dest, instr.a, instr.b)
+    if op in (Opcode.NEG, Opcode.NOT):
+        return "%s r%d, r%d" % (op.value, instr.dest, instr.a)
+    if op in CONDITIONAL_BRANCHES:
+        return "%s r%d, r%d, %s" % (op.value, instr.a, instr.b,
+                                    label_at[instr.target])
+    if op in (Opcode.JUMP, Opcode.CALL):
+        return "%s %s" % (op.value, label_at[instr.target])
+    if op is Opcode.RET:
+        return "ret"
+    if op is Opcode.JIND:
+        return "jind r%d" % instr.a
+    if op is Opcode.ARG:
+        return "arg %d, r%d" % (instr.imm, instr.a)
+    if op is Opcode.RETV:
+        return "retv r%d" % instr.a
+    if op is Opcode.RESULT:
+        return "result r%d" % instr.dest
+    if op is Opcode.TABLE:
+        table = program.jump_tables[instr.imm]
+        return "table r%d, %s, r%d" % (instr.dest, table.name, instr.a)
+    if op is Opcode.GETC:
+        return "getc r%d, %d" % (instr.dest, instr.imm)
+    if op in (Opcode.PUTC, Opcode.PUTI):
+        return "%s r%d" % (op.value, instr.a)
+    return op.value

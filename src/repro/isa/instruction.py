@@ -1,0 +1,137 @@
+"""The intermediate instruction type.
+
+Instructions are mutable because compiler passes (trace layout, forward
+slot filling) rewrite targets and metadata in place on copies of the
+program.  Operand meaning by field:
+
+========  =======================================================
+field     meaning
+========  =======================================================
+op        the :class:`~repro.isa.opcodes.Opcode`
+dest      destination register number (or ``None``)
+a, b      source register numbers (or ``None``)
+imm       integer immediate (LI, LOAD/STORE offset, ARG index,
+          TABLE id, GETC stream id)
+target    branch target: a label string before resolution, an
+          instruction address (int) afterwards
+likely    the "likely-taken" bit set by the profiling compiler for
+          the Forward Semantic scheme (conditional branches only)
+n_slots   number of forward-slot locations reserved after this
+          branch (Forward Semantic, likely-taken branches only)
+orig_target  original (pre-slot-adjustment) target address, kept
+          so the functional simulator can cross-check slot
+          execution against the direct path
+========  =======================================================
+"""
+
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    UNCONDITIONAL_BRANCHES,
+    KNOWN_TARGET_BRANCHES,
+)
+
+
+class Instruction:
+    """A single intermediate instruction."""
+
+    __slots__ = ("op", "dest", "a", "b", "imm", "target",
+                 "likely", "n_slots", "orig_target")
+
+    def __init__(self, op, dest=None, a=None, b=None, imm=None, target=None,
+                 likely=False, n_slots=0, orig_target=None):
+        self.op = op
+        self.dest = dest
+        self.a = a
+        self.b = b
+        self.imm = imm
+        self.target = target
+        self.likely = likely
+        self.n_slots = n_slots
+        self.orig_target = orig_target
+
+    # -- classification -------------------------------------------------
+
+    @property
+    def is_branch(self):
+        """True for any control-transfer instruction."""
+        return self.op in BRANCH_OPCODES
+
+    @property
+    def is_conditional(self):
+        """True for compare-and-branch instructions."""
+        return self.op in CONDITIONAL_BRANCHES
+
+    @property
+    def is_unconditional(self):
+        """True for JUMP/CALL/RET/JIND."""
+        return self.op in UNCONDITIONAL_BRANCHES
+
+    @property
+    def target_known(self):
+        """True when the branch target is known statically.
+
+        Conditional branches and direct jumps/calls have known targets;
+        returns and indirect jumps do not.
+        """
+        return self.op in KNOWN_TARGET_BRANCHES or self.is_conditional
+
+    # -- copying ---------------------------------------------------------
+
+    def copy(self):
+        """Return an independent copy of this instruction."""
+        return Instruction(
+            self.op, dest=self.dest, a=self.a, b=self.b, imm=self.imm,
+            target=self.target, likely=self.likely, n_slots=self.n_slots,
+            orig_target=self.orig_target,
+        )
+
+    # -- equality / debugging ---------------------------------------------
+
+    def semantically_equal(self, other):
+        """True when both instructions perform the same operation.
+
+        Ignores the FS metadata fields (``likely``, ``n_slots``,
+        ``orig_target``); used by tests that check forward-slot copies
+        are faithful.
+        """
+        return (
+            self.op is other.op
+            and self.dest == other.dest
+            and self.a == other.a
+            and self.b == other.b
+            and self.imm == other.imm
+            and self.target == other.target
+        )
+
+    def __eq__(self, other):
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.semantically_equal(other)
+            and self.likely == other.likely
+            and self.n_slots == other.n_slots
+            and self.orig_target == other.orig_target
+        )
+
+    def __hash__(self):
+        return hash((self.op, self.dest, self.a, self.b, self.imm,
+                     self.target, self.likely, self.n_slots))
+
+    def __repr__(self):
+        parts = [self.op.value]
+        if self.dest is not None:
+            parts.append("r%d" % self.dest)
+        if self.a is not None:
+            parts.append("r%d" % self.a)
+        if self.b is not None:
+            parts.append("r%d" % self.b)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append("->%s" % self.target)
+        if self.likely:
+            parts.append("(likely)")
+        if self.n_slots:
+            parts.append("[%d slots]" % self.n_slots)
+        return "<%s>" % " ".join(parts)

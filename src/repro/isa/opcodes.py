@@ -1,0 +1,121 @@
+"""Opcode definitions and opcode classification sets.
+
+Branch taxonomy (used throughout the predictors and the experiments):
+
+* *Conditional branches* compare two registers and transfer control to a
+  static target when the comparison holds.  Their dynamic direction is
+  the object of prediction.
+* *Unconditional branches with known targets* (``JUMP``, ``CALL``)
+  always transfer control to a target known at compile time; every
+  scheme in the paper handles these as extremely biased likely branches.
+* *Unconditional branches with unknown targets* (``RET``, ``JIND``)
+  transfer control to an address produced at run time (return address,
+  switch jump table); the paper notes these "pose a problem for all
+  three schemes".
+"""
+
+import enum
+
+
+class Opcode(enum.Enum):
+    """Operation codes of the intermediate instruction set."""
+
+    # Data movement.
+    LI = "li"          # dest <- imm
+    MOV = "mov"        # dest <- a
+    LOAD = "load"      # dest <- mem[a + imm]
+    STORE = "store"    # mem[b + imm] <- a
+
+    # Arithmetic / logic (dest <- a OP b).
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"        # truncating division, C semantics
+    REM = "rem"        # remainder, C semantics
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"        # arithmetic shift right
+    NEG = "neg"        # dest <- -a
+    NOT = "not"        # dest <- ~a
+
+    # Conditional compare-and-branch (taken when `a OP b`).
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BLE = "ble"
+    BGT = "bgt"
+    BGE = "bge"
+
+    # Unconditional control transfer.
+    JUMP = "jump"      # direct jump, target known
+    CALL = "call"      # direct call, target known
+    RET = "ret"        # return via call stack, target unknown
+    JIND = "jind"      # indirect jump through register, target unknown
+
+    # Call/return data movement.
+    ARG = "arg"        # stage register a as outgoing argument imm
+    RETV = "retv"      # stage register a as the return value
+    RESULT = "result"  # dest <- return value of the last call
+
+    # Jump-table lookup: dest <- address jump_tables[imm][a].
+    TABLE = "table"
+
+    # I/O and termination (the benchmark "system calls").
+    GETC = "getc"      # dest <- next byte of input stream imm, -1 at EOF
+    PUTC = "putc"      # append byte a to the output stream
+    PUTI = "puti"      # append decimal rendering of a to the output stream
+    HALT = "halt"      # stop the machine
+
+    NOP = "nop"        # no operation (forward-slot padding)
+
+
+ALU_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.REM,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.NEG,
+        Opcode.NOT,
+    }
+)
+
+COMMUTATIVE_OPCODES = frozenset(
+    {Opcode.ADD, Opcode.MUL, Opcode.AND, Opcode.OR, Opcode.XOR}
+)
+
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BLE, Opcode.BGT, Opcode.BGE}
+)
+
+KNOWN_TARGET_BRANCHES = frozenset({Opcode.JUMP, Opcode.CALL})
+UNKNOWN_TARGET_BRANCHES = frozenset({Opcode.RET, Opcode.JIND})
+UNCONDITIONAL_BRANCHES = KNOWN_TARGET_BRANCHES | UNKNOWN_TARGET_BRANCHES
+BRANCH_OPCODES = CONDITIONAL_BRANCHES | UNCONDITIONAL_BRANCHES
+
+_INVERSES = {
+    Opcode.BEQ: Opcode.BNE,
+    Opcode.BNE: Opcode.BEQ,
+    Opcode.BLT: Opcode.BGE,
+    Opcode.BGE: Opcode.BLT,
+    Opcode.BLE: Opcode.BGT,
+    Opcode.BGT: Opcode.BLE,
+}
+
+
+def invert_branch(op):
+    """Return the conditional branch opcode with the negated condition.
+
+    Used by the trace-layout pass when a block's likely successor must
+    become the fall-through path.  Raises ``KeyError`` for non-conditional
+    opcodes.
+    """
+    return _INVERSES[op]

@@ -1,0 +1,215 @@
+"""Program container: instructions, labels, functions, jump tables.
+
+A :class:`Program` is the unit handed to the VM, the profiler, and the
+compiler transformation passes.  Labels are symbolic until
+:meth:`Program.resolve` rewrites every branch target to an absolute
+instruction address.  Compiler passes that reorder code operate on the
+symbolic form or re-derive labels; the Forward Semantic pass operates on
+the resolved form (the paper's algorithm is expressed in addresses).
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, bad entry, ...)."""
+
+
+class JumpTable:
+    """A compile-time table of code labels used by ``switch`` statements.
+
+    ``TABLE dest, table_id, index`` loads ``entries[index]`` (an
+    instruction address after resolution) into ``dest``; a subsequent
+    ``JIND`` jumps there.
+    """
+
+    __slots__ = ("name", "entries")
+
+    def __init__(self, name, entries):
+        self.name = name
+        self.entries = list(entries)
+
+    def copy(self):
+        return JumpTable(self.name, list(self.entries))
+
+    def __repr__(self):
+        return "JumpTable(%r, %d entries)" % (self.name, len(self.entries))
+
+
+class Program:
+    """An executable intermediate-code program.
+
+    Attributes:
+        name: human-readable program name (benchmark name).
+        instructions: list of :class:`Instruction`.
+        labels: mapping of label name -> instruction address.
+        functions: mapping of function name -> entry label name.
+        jump_tables: list of :class:`JumpTable` (indexed by TABLE's imm).
+        globals_size: number of words of global data memory the program
+            expects to be zero-initialised.
+        resolved: True once branch targets are absolute addresses.
+    """
+
+    def __init__(self, name="program"):
+        self.name = name
+        self.instructions = []
+        self.labels = {}
+        self.functions = {}
+        self.jump_tables = []
+        self.globals_size = 0
+        # Initialised data: memory address -> initial value.  Applied by
+        # the VM before execution, like a real executable's data
+        # segment; not counted in static code size.
+        self.data_init = {}
+        self.resolved = False
+
+    # -- construction ------------------------------------------------------
+
+    def emit(self, op, **kwargs):
+        """Append an instruction and return its address."""
+        self.instructions.append(Instruction(op, **kwargs))
+        return len(self.instructions) - 1
+
+    def mark_label(self, label):
+        """Bind ``label`` to the address of the next emitted instruction."""
+        if label in self.labels:
+            raise ProgramError("duplicate label: %s" % label)
+        self.labels[label] = len(self.instructions)
+
+    def add_jump_table(self, name, entries):
+        """Register a jump table; returns its table id."""
+        self.jump_tables.append(JumpTable(name, entries))
+        return len(self.jump_tables) - 1
+
+    # -- linking -----------------------------------------------------------
+
+    def resolve(self):
+        """Rewrite symbolic targets to absolute instruction addresses."""
+        if self.resolved:
+            return self
+        for address, instr in enumerate(self.instructions):
+            if instr.target is None:
+                continue
+            if isinstance(instr.target, str):
+                if instr.target not in self.labels:
+                    raise ProgramError(
+                        "unknown label %r at address %d" % (instr.target, address)
+                    )
+                instr.target = self.labels[instr.target]
+        for table in self.jump_tables:
+            resolved_entries = []
+            for entry in table.entries:
+                if isinstance(entry, str):
+                    if entry not in self.labels:
+                        raise ProgramError(
+                            "unknown label %r in jump table %s" % (entry, table.name)
+                        )
+                    resolved_entries.append(self.labels[entry])
+                else:
+                    resolved_entries.append(entry)
+            table.entries = resolved_entries
+        self.resolved = True
+        return self
+
+    @property
+    def entry(self):
+        """Address of the program entry point.
+
+        The Minic compiler emits a synthetic ``__start`` function that
+        initialises global data and calls ``main``; when present it is
+        the entry point, otherwise ``main`` is entered directly.
+        """
+        if not self.resolved:
+            raise ProgramError("program is not resolved")
+        for name in ("__start", "main"):
+            if name in self.functions:
+                return self.labels[self.functions[name]]
+        raise ProgramError("program has no main function")
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getitem__(self, address):
+        return self.instructions[address]
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def branch_addresses(self):
+        """Yield (address, instruction) for every branch in the program."""
+        for address, instr in enumerate(self.instructions):
+            if instr.is_branch:
+                yield address, instr
+
+    def static_size(self):
+        """Static code size in instructions (the Table 5 unit)."""
+        return len(self.instructions)
+
+    def function_of(self, address):
+        """Return the name of the function containing ``address``.
+
+        Functions are assumed to occupy contiguous address ranges in
+        emission order, which holds for code produced by the Minic
+        compiler.  Returns ``None`` when no function contains the
+        address.
+        """
+        if not self.resolved:
+            raise ProgramError("program is not resolved")
+        best_name, best_addr = None, -1
+        for name, label in self.functions.items():
+            start = self.labels[label]
+            if best_addr < start <= address:
+                best_name, best_addr = name, start
+        return best_name
+
+    # -- copying ---------------------------------------------------------------
+
+    def copy(self):
+        """Deep-copy the program (instructions and tables are copied)."""
+        duplicate = Program(self.name)
+        duplicate.instructions = [instr.copy() for instr in self.instructions]
+        duplicate.labels = dict(self.labels)
+        duplicate.functions = dict(self.functions)
+        duplicate.jump_tables = [table.copy() for table in self.jump_tables]
+        duplicate.globals_size = self.globals_size
+        duplicate.data_init = dict(self.data_init)
+        duplicate.resolved = self.resolved
+        return duplicate
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self):
+        """Check structural invariants; raises ProgramError on failure.
+
+        * every resolved branch target lands inside the program,
+        * every conditional branch and direct jump/call has a target,
+        * jump-table ids referenced by TABLE instructions exist.
+        """
+        size = len(self.instructions)
+        for address, instr in enumerate(self.instructions):
+            if instr.is_branch and instr.op not in (Opcode.RET, Opcode.JIND):
+                if instr.target is None:
+                    raise ProgramError("branch without target at %d" % address)
+                if self.resolved and not 0 <= instr.target < size:
+                    raise ProgramError(
+                        "branch target %r out of range at %d" % (instr.target, address)
+                    )
+            if instr.op is Opcode.TABLE:
+                if not 0 <= instr.imm < len(self.jump_tables):
+                    raise ProgramError("bad jump table id at %d" % address)
+        if self.resolved:
+            for table in self.jump_tables:
+                for entry in table.entries:
+                    if not 0 <= entry < size:
+                        raise ProgramError(
+                            "jump table %s entry %r out of range" % (table.name, entry)
+                        )
+        return self
+
+    def __repr__(self):
+        return "Program(%r, %d instructions, %d functions)" % (
+            self.name, len(self.instructions), len(self.functions),
+        )

@@ -1,0 +1,56 @@
+"""Minic: a small C-like language and its optimizing compiler.
+
+Minic stands in for the C subset the IMPACT compiler consumed in the
+paper.  The ten benchmark programs of the suite are written in Minic and
+compiled to the intermediate ISA of :mod:`repro.isa`.
+
+Language summary::
+
+    // comments, /* block comments */
+    int g;                      // global scalar (zero initialised)
+    int table[8] = {1,2,3};     // global array, trailing zeros implied
+    int msg[] = "hi";           // char-code array + NUL terminator
+
+    int add(int a, int b) { return a + b; }
+
+    int main() {
+        int i;                  // scalar locals live in registers
+        int buf[64];            // local arrays get static storage
+        for (i = 0; i < 10; i = i + 1) {
+            if (i % 2 == 0 && i != 4) putc('0' + i);
+        }
+        while (1) { break; }
+        do { i = i - 1; } while (i > 0);
+        switch (i) {            // dense switches become jump tables
+            case 0: case 1: return 1;
+            default: break;
+        }
+        return 0;
+    }
+
+Builtins: ``getc(stream)`` reads one byte from input stream ``stream``
+(a compile-time constant; -1 at end), ``putc(c)`` writes a byte,
+``puti(n)`` writes a decimal number.
+
+All values are integers (Python-width; shifts are masked to 64 bits by
+the VM).  There are no pointers; programs index global arrays instead,
+in the style of early C.  Local arrays have static storage, so functions
+that declare them must not recurse (the compiler does not check this).
+"""
+
+from repro.lang.lexer import tokenize, Token, LexerError
+from repro.lang.parser import parse, ParseError
+from repro.lang.semantics import analyze, SemanticError
+from repro.lang.compiler import compile_source, CompileError
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "LexerError",
+    "parse",
+    "ParseError",
+    "analyze",
+    "SemanticError",
+    "compile_source",
+    "CompileError",
+]

@@ -1,0 +1,253 @@
+"""Abstract syntax tree node types for Minic.
+
+Nodes are plain classes with positional constructors; every node keeps
+the source ``line`` that produced it for diagnostics.
+"""
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, line):
+        self.line = line
+
+
+# --- top level ------------------------------------------------------------
+
+
+class TranslationUnit(Node):
+    """A whole Minic source file."""
+
+    __slots__ = ("globals", "functions")
+
+    def __init__(self, globals_, functions, line=1):
+        super().__init__(line)
+        self.globals = globals_
+        self.functions = functions
+
+
+class GlobalDecl(Node):
+    """``int name;``, ``int name = 3;``, ``int name[N] = {...};``
+
+    size is None for scalars; -1 for arrays whose size is inferred from
+    the initializer.  init is None, an int, or a list of ints.
+    """
+
+    __slots__ = ("name", "size", "init")
+
+    def __init__(self, name, size, init, line):
+        super().__init__(line)
+        self.name = name
+        self.size = size
+        self.init = init
+
+    @property
+    def is_array(self):
+        return self.size is not None
+
+
+class FuncDef(Node):
+    """A function definition: all params and the return type are int."""
+
+    __slots__ = ("name", "params", "body")
+
+    def __init__(self, name, params, body, line):
+        super().__init__(line)
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# --- statements --------------------------------------------------------------
+
+
+class Block(Node):
+    __slots__ = ("statements",)
+
+    def __init__(self, statements, line):
+        super().__init__(line)
+        self.statements = statements
+
+
+class LocalDecl(Node):
+    """``int x;`` / ``int x = e;`` / ``int buf[N];`` inside a function."""
+
+    __slots__ = ("name", "size", "init")
+
+    def __init__(self, name, size, init, line):
+        super().__init__(line)
+        self.name = name
+        self.size = size
+        self.init = init
+
+    @property
+    def is_array(self):
+        return self.size is not None
+
+
+class Assign(Node):
+    """``name = e;`` or ``name[i] = e;`` — target is Var or Index."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value, line):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class If(Node):
+    __slots__ = ("cond", "then_branch", "else_branch")
+
+    def __init__(self, cond, then_branch, else_branch, line):
+        super().__init__(line)
+        self.cond = cond
+        self.then_branch = then_branch
+        self.else_branch = else_branch
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, line):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Node):
+    __slots__ = ("body", "cond")
+
+    def __init__(self, body, cond, line):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Node):
+    """``for (init; cond; step) body`` — init/step are statements or None,
+    cond is an expression or None (None means forever)."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, line):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class SwitchCase(Node):
+    """One ``case``/``default`` group; execution falls through to the
+    next group unless the body breaks (C semantics)."""
+
+    __slots__ = ("values", "is_default", "body")
+
+    def __init__(self, values, is_default, body, line):
+        super().__init__(line)
+        self.values = values
+        self.is_default = is_default
+        self.body = body
+
+
+class Switch(Node):
+    __slots__ = ("expr", "cases")
+
+    def __init__(self, expr, cases, line):
+        super().__init__(line)
+        self.expr = expr
+        self.cases = cases
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, line):
+        super().__init__(line)
+        self.expr = expr
+
+
+# --- expressions -----------------------------------------------------------------
+
+
+class IntLit(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, line):
+        super().__init__(line)
+        self.value = value
+
+
+class Var(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name, line):
+        super().__init__(line)
+        self.name = name
+
+
+class Index(Node):
+    """``name[expr]`` — arrays are always named directly."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name, index, line):
+        super().__init__(line)
+        self.name = name
+        self.index = index
+
+
+class Call(Node):
+    __slots__ = ("name", "args")
+
+    def __init__(self, name, args, line):
+        super().__init__(line)
+        self.name = name
+        self.args = args
+
+
+class Unary(Node):
+    """op in {'-', '!', '~'}"""
+
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, line):
+        super().__init__(line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    """op in {'||','&&','|','^','&','==','!=','<','<=','>','>=',
+    '<<','>>','+','-','*','/','%'}"""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, line):
+        super().__init__(line)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+LOGICAL_OPS = frozenset({"&&", "||"})

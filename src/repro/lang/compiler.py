@@ -1,0 +1,24 @@
+"""Compiler driver: Minic source text -> resolved Program."""
+
+from repro.lang.codegen import generate, CodegenError
+from repro.lang.lexer import LexerError
+from repro.lang.parser import parse, ParseError
+from repro.lang.semantics import analyze, SemanticError
+
+
+class CompileError(Exception):
+    """Wraps any front-end failure with the program name."""
+
+
+def compile_source(source, name="program"):
+    """Compile Minic ``source``; returns a resolved, validated Program.
+
+    Raises :class:`CompileError` with the underlying diagnostic on any
+    lexical, syntactic, semantic, or code-generation error.
+    """
+    try:
+        unit = parse(source)
+        info = analyze(unit)
+        return generate(unit, info, name=name)
+    except (LexerError, ParseError, SemanticError, CodegenError) as error:
+        raise CompileError("%s: %s" % (name, error)) from error

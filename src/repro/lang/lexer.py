@@ -1,0 +1,175 @@
+"""Tokenizer for Minic."""
+
+KEYWORDS = frozenset({
+    "int", "if", "else", "while", "for", "do", "switch", "case",
+    "default", "break", "continue", "return",
+})
+
+# Multi-character operators must be matched before their prefixes.
+_OPERATORS = [
+    "<<=", ">>=",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "++", "--",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ";", ",", ":",
+]
+
+_ESCAPES = {
+    "n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34,
+    "a": 7, "b": 8, "f": 12, "v": 11,
+}
+
+
+class LexerError(Exception):
+    """Raised on malformed source text."""
+
+    def __init__(self, message, line):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+class Token:
+    """A lexical token.
+
+    kind: "name", "int", "string", "keyword", an operator string, or
+        "eof".
+    value: identifier text, integer value, decoded string bytes, or the
+        operator/keyword itself.
+    """
+
+    __slots__ = ("kind", "value", "line")
+
+    def __init__(self, kind, value, line):
+        self.kind = kind
+        self.value = value
+        self.line = line
+
+    def __repr__(self):
+        return "Token(%r, %r, line=%d)" % (self.kind, self.value, self.line)
+
+    def __eq__(self, other):
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (self.kind, self.value, self.line) == (
+            other.kind, other.value, other.line)
+
+
+def tokenize(text):
+    """Convert Minic source into a list of tokens ending with ``eof``."""
+    tokens = []
+    position = 0
+    line = 1
+    length = len(text)
+
+    while position < length:
+        char = text[position]
+
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+
+        if text.startswith("//", position):
+            end = text.find("\n", position)
+            position = length if end == -1 else end
+            continue
+        if text.startswith("/*", position):
+            end = text.find("*/", position + 2)
+            if end == -1:
+                raise LexerError("unterminated block comment", line)
+            line += text.count("\n", position, end)
+            position = end + 2
+            continue
+
+        if char.isdigit():
+            start = position
+            if text.startswith("0x", position) or text.startswith("0X", position):
+                position += 2
+                while position < length and text[position] in "0123456789abcdefABCDEF":
+                    position += 1
+                if position == start + 2:
+                    raise LexerError("malformed hex literal", line)
+                tokens.append(Token("int", int(text[start:position], 16), line))
+            else:
+                while position < length and text[position].isdigit():
+                    position += 1
+                tokens.append(Token("int", int(text[start:position]), line))
+            continue
+
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (text[position].isalnum() or text[position] == "_"):
+                position += 1
+            word = text[start:position]
+            if word in KEYWORDS:
+                tokens.append(Token("keyword", word, line))
+            else:
+                tokens.append(Token("name", word, line))
+            continue
+
+        if char == "'":
+            value, position = _char_literal(text, position, line)
+            tokens.append(Token("int", value, line))
+            continue
+
+        if char == '"':
+            value, position, line = _string_literal(text, position, line)
+            tokens.append(Token("string", value, line))
+            continue
+
+        for operator in _OPERATORS:
+            if text.startswith(operator, position):
+                tokens.append(Token(operator, operator, line))
+                position += len(operator)
+                break
+        else:
+            raise LexerError("unexpected character %r" % char, line)
+
+    tokens.append(Token("eof", None, line))
+    return tokens
+
+
+def _char_literal(text, position, line):
+    """Parse a character literal starting at ``position`` (the quote)."""
+    position += 1
+    if position >= len(text):
+        raise LexerError("unterminated character literal", line)
+    if text[position] == "\\":
+        position += 1
+        if position >= len(text) or text[position] not in _ESCAPES:
+            raise LexerError("bad escape in character literal", line)
+        value = _ESCAPES[text[position]]
+        position += 1
+    else:
+        value = ord(text[position])
+        position += 1
+    if position >= len(text) or text[position] != "'":
+        raise LexerError("unterminated character literal", line)
+    return value, position + 1
+
+
+def _string_literal(text, position, line):
+    """Parse a string literal; returns (bytes-values, new position, line)."""
+    position += 1
+    values = []
+    while True:
+        if position >= len(text):
+            raise LexerError("unterminated string literal", line)
+        char = text[position]
+        if char == '"':
+            return values, position + 1, line
+        if char == "\n":
+            raise LexerError("newline in string literal", line)
+        if char == "\\":
+            position += 1
+            if position >= len(text) or text[position] not in _ESCAPES:
+                raise LexerError("bad escape in string literal", line)
+            values.append(_ESCAPES[text[position]])
+            position += 1
+        else:
+            values.append(ord(char))
+            position += 1

@@ -1,0 +1,413 @@
+"""Recursive-descent parser for Minic."""
+
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+
+# Binary operator precedence, lowest first.  && and || are handled
+# separately only at code generation (short circuit); parsing treats
+# them as ordinary left-associative binary operators.
+_PRECEDENCE = [
+    ["||"],
+    ["&&"],
+    ["|"],
+    ["^"],
+    ["&"],
+    ["==", "!="],
+    ["<", "<=", ">", ">="],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+_COMPOUND_OPS = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid Minic source."""
+
+    def __init__(self, message, line):
+        super().__init__("line %d: %s" % (line, message))
+        self.line = line
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.position]
+
+    def advance(self):
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind, value=None):
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        if self.check(kind, value):
+            return self.advance()
+        wanted = value if value is not None else kind
+        raise ParseError(
+            "expected %r, found %r" % (wanted, self.current.value),
+            self.current.line,
+        )
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_unit(self):
+        globals_ = []
+        functions = []
+        while not self.check("eof"):
+            self.expect("keyword", "int")
+            name_token = self.expect("name")
+            if self.check("("):
+                functions.append(self._function_rest(name_token))
+            else:
+                globals_.append(self._global_rest(name_token))
+        return ast.TranslationUnit(globals_, functions)
+
+    def _function_rest(self, name_token):
+        self.expect("(")
+        params = []
+        if not self.check(")"):
+            while True:
+                self.expect("keyword", "int")
+                params.append(self.expect("name").value)
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self._block()
+        return ast.FuncDef(name_token.value, params, body, name_token.line)
+
+    def _global_rest(self, name_token):
+        size = None
+        init = None
+        if self.accept("["):
+            if self.check("int"):
+                size = self.advance().value
+            else:
+                size = -1  # inferred from the initializer
+            self.expect("]")
+        if self.accept("="):
+            init = self._initializer(is_array=size is not None)
+        self.expect(";")
+        return ast.GlobalDecl(name_token.value, size, init, name_token.line)
+
+    def _initializer(self, is_array):
+        if self.check("string"):
+            if not is_array:
+                raise ParseError("string initializer on a scalar",
+                                 self.current.line)
+            token = self.advance()
+            return list(token.value) + [0]
+        if self.accept("{"):
+            if not is_array:
+                raise ParseError("brace initializer on a scalar",
+                                 self.current.line)
+            values = []
+            if not self.check("}"):
+                while True:
+                    values.append(self._const_int())
+                    if not self.accept(","):
+                        break
+            self.expect("}")
+            return values
+        value = self._const_int()
+        if is_array:
+            return [value]
+        return value
+
+    def _const_int(self):
+        negative = bool(self.accept("-"))
+        token = self.expect("int")
+        return -token.value if negative else token.value
+
+    # -- statements ------------------------------------------------------------
+
+    def _block(self):
+        open_brace = self.expect("{")
+        statements = []
+        while not self.check("}"):
+            statements.append(self._statement())
+        self.expect("}")
+        return ast.Block(statements, open_brace.line)
+
+    def _statement(self):
+        token = self.current
+
+        if token.kind == "{":
+            return self._block()
+
+        if token.kind == "keyword":
+            keyword = token.value
+            if keyword == "int":
+                return self._local_decl()
+            if keyword == "if":
+                return self._if()
+            if keyword == "while":
+                return self._while()
+            if keyword == "do":
+                return self._do_while()
+            if keyword == "for":
+                return self._for()
+            if keyword == "switch":
+                return self._switch()
+            if keyword == "break":
+                self.advance()
+                self.expect(";")
+                return ast.Break(token.line)
+            if keyword == "continue":
+                self.advance()
+                self.expect(";")
+                return ast.Continue(token.line)
+            if keyword == "return":
+                self.advance()
+                value = None if self.check(";") else self._expression()
+                self.expect(";")
+                return ast.Return(value, token.line)
+            raise ParseError("unexpected keyword %r" % keyword, token.line)
+
+        statement = self._simple_statement()
+        self.expect(";")
+        return statement
+
+    def _simple_statement(self):
+        """An assignment or expression statement, without the ';'.
+
+        Also used for the init/step clauses of ``for``.  Compound
+        assignments (``x += e``) and increments (``x++``/``x--``) are
+        desugared here; for array elements the index expression is
+        re-evaluated (Minic index expressions are expected to be
+        side-effect free).
+        """
+        token = self.current
+        if token.kind == "name":
+            next_token = self.tokens[self.position + 1]
+            if next_token.kind == "=":
+                name = self.advance()
+                self.advance()  # '='
+                value = self._expression()
+                return ast.Assign(ast.Var(name.value, name.line), value,
+                                  name.line)
+            if next_token.kind in _COMPOUND_OPS:
+                name = self.advance()
+                operator = _COMPOUND_OPS[self.advance().kind]
+                value = self._expression()
+                target = ast.Var(name.value, name.line)
+                read = ast.Var(name.value, name.line)
+                return ast.Assign(
+                    target, ast.Binary(operator, read, value, name.line),
+                    name.line)
+            if next_token.kind in ("++", "--"):
+                name = self.advance()
+                operator = "+" if self.advance().kind == "++" else "-"
+                target = ast.Var(name.value, name.line)
+                read = ast.Var(name.value, name.line)
+                one = ast.IntLit(1, name.line)
+                return ast.Assign(
+                    target, ast.Binary(operator, read, one, name.line),
+                    name.line)
+            if next_token.kind == "[":
+                # Could be `a[i] = e` / `a[i] op= e` (assignment) or
+                # `a[i]` in an expression; parse the index, then decide.
+                saved = self.position
+                name = self.advance()
+                self.advance()  # '['
+                index = self._expression()
+                self.expect("]")
+                if self.accept("="):
+                    value = self._expression()
+                    target = ast.Index(name.value, index, name.line)
+                    return ast.Assign(target, value, name.line)
+                if self.current.kind in _COMPOUND_OPS:
+                    operator = _COMPOUND_OPS[self.advance().kind]
+                    value = self._expression()
+                    target = ast.Index(name.value, index, name.line)
+                    read = ast.Index(name.value, index, name.line)
+                    return ast.Assign(
+                        target,
+                        ast.Binary(operator, read, value, name.line),
+                        name.line)
+                if self.current.kind in ("++", "--"):
+                    operator = "+" if self.advance().kind == "++" else "-"
+                    target = ast.Index(name.value, index, name.line)
+                    read = ast.Index(name.value, index, name.line)
+                    one = ast.IntLit(1, name.line)
+                    return ast.Assign(
+                        target,
+                        ast.Binary(operator, read, one, name.line),
+                        name.line)
+                self.position = saved
+        expr = self._expression()
+        return ast.ExprStmt(expr, token.line)
+
+    def _local_decl(self):
+        keyword = self.expect("keyword", "int")
+        name = self.expect("name").value
+        size = None
+        init = None
+        if self.accept("["):
+            size = self.expect("int").value
+            self.expect("]")
+        elif self.accept("="):
+            init = self._expression()
+        self.expect(";")
+        return ast.LocalDecl(name, size, init, keyword.line)
+
+    def _if(self):
+        keyword = self.advance()
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        then_branch = self._statement()
+        else_branch = None
+        if self.accept("keyword", "else"):
+            else_branch = self._statement()
+        return ast.If(cond, then_branch, else_branch, keyword.line)
+
+    def _while(self):
+        keyword = self.advance()
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        body = self._statement()
+        return ast.While(cond, body, keyword.line)
+
+    def _do_while(self):
+        keyword = self.advance()
+        body = self._statement()
+        self.expect("keyword", "while")
+        self.expect("(")
+        cond = self._expression()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(body, cond, keyword.line)
+
+    def _for(self):
+        keyword = self.advance()
+        self.expect("(")
+        init = None if self.check(";") else self._simple_statement()
+        self.expect(";")
+        cond = None if self.check(";") else self._expression()
+        self.expect(";")
+        step = None if self.check(")") else self._simple_statement()
+        self.expect(")")
+        body = self._statement()
+        return ast.For(init, cond, step, body, keyword.line)
+
+    def _switch(self):
+        keyword = self.advance()
+        self.expect("(")
+        expr = self._expression()
+        self.expect(")")
+        self.expect("{")
+        cases = []
+        seen_default = False
+        while not self.check("}"):
+            values = []
+            is_default = False
+            got_label = False
+            while True:
+                if self.accept("keyword", "case"):
+                    values.append(self._const_int())
+                    self.expect(":")
+                    got_label = True
+                elif self.check("keyword", "default"):
+                    if seen_default:
+                        raise ParseError("duplicate default label",
+                                         self.current.line)
+                    self.advance()
+                    self.expect(":")
+                    is_default = True
+                    seen_default = True
+                    got_label = True
+                else:
+                    break
+            if not got_label:
+                raise ParseError("statement outside any case label",
+                                 self.current.line)
+            body = []
+            while not (self.check("}") or self.check("keyword", "case")
+                       or self.check("keyword", "default")):
+                body.append(self._statement())
+            cases.append(ast.SwitchCase(values, is_default, body, keyword.line))
+        self.expect("}")
+        return ast.Switch(expr, cases, keyword.line)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _expression(self):
+        return self._binary(0)
+
+    def _binary(self, level):
+        if level >= len(_PRECEDENCE):
+            return self._unary()
+        operators = _PRECEDENCE[level]
+        left = self._binary(level + 1)
+        while self.current.kind in operators:
+            op_token = self.advance()
+            right = self._binary(level + 1)
+            left = ast.Binary(op_token.kind, left, right, op_token.line)
+        return left
+
+    def _unary(self):
+        token = self.current
+        if token.kind in ("-", "!", "~"):
+            self.advance()
+            operand = self._unary()
+            return ast.Unary(token.kind, operand, token.line)
+        return self._postfix()
+
+    def _postfix(self):
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            return ast.IntLit(token.value, token.line)
+        if token.kind == "(":
+            self.advance()
+            expr = self._expression()
+            self.expect(")")
+            return expr
+        if token.kind == "name":
+            name = self.advance()
+            if self.accept("("):
+                args = []
+                if not self.check(")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return ast.Call(name.value, args, name.line)
+            if self.accept("["):
+                index = self._expression()
+                self.expect("]")
+                return ast.Index(name.value, index, name.line)
+            return ast.Var(name.value, name.line)
+        raise ParseError("unexpected token %r" % (token.value,), token.line)
+
+
+def parse(source):
+    """Parse Minic source text into a :class:`~repro.lang.ast.TranslationUnit`."""
+    parser = _Parser(tokenize(source))
+    unit = parser.parse_unit()
+    return unit

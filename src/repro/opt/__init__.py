@@ -1,0 +1,37 @@
+"""Machine-independent IR optimization passes.
+
+The paper's compiler is an *optimizing*, profiling compiler; this
+package supplies the classic clean-up passes such a compiler runs
+before profile-driven layout:
+
+* :mod:`~repro.opt.jump_threading` — retarget branches that point at
+  unconditional jumps;
+* :mod:`~repro.opt.dead_code` — remove code unreachable from the entry
+  point (with full address remapping);
+* :mod:`~repro.opt.peephole` — delete self-moves and jumps to the next
+  instruction;
+* :mod:`~repro.opt.block_constants` — basic-block-local constant
+  propagation and folding over the register IR.
+
+``optimize(program)`` runs them to a fixed point.  Every pass
+preserves observable behaviour; `tests/test_opt.py` proves it on the
+full benchmark suite.
+"""
+
+from repro.opt.pipeline import OptimizationReport, optimize
+from repro.opt.jump_threading import thread_jumps
+from repro.opt.dead_code import remove_dead_code
+from repro.opt.peephole import peephole
+from repro.opt.block_constants import propagate_block_constants
+from repro.opt.inline import InlineReport, inline_functions
+
+__all__ = [
+    "OptimizationReport",
+    "optimize",
+    "thread_jumps",
+    "remove_dead_code",
+    "peephole",
+    "propagate_block_constants",
+    "InlineReport",
+    "inline_functions",
+]

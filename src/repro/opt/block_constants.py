@@ -1,0 +1,104 @@
+"""Basic-block-local constant propagation and folding.
+
+Within each basic block, track which registers hold compile-time
+constants (from ``LI``) and:
+
+* fold ALU operations whose operands are all known into an ``LI``;
+* rewrite ``MOV rD, rA`` with known ``rA`` into ``LI rD, value``.
+
+The pass never changes program size or control flow, so it is safe at
+any point in the pipeline; it invalidates its knowledge at every block
+boundary and after CALL/RESULT/GETC (values the block cannot know).
+
+Folding uses the same C-style semantics as the VM (truncating
+division, 64-bit-masked shift counts); division by a known zero is
+left for the VM to fault on.
+"""
+
+from repro.cfg import compute_leaders
+from repro.isa.opcodes import Opcode
+from repro.vm.machine import _c_div, _c_rem
+
+_FOLDABLE_BINARY = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SHL: lambda a, b: a << (b & 63),
+    Opcode.SHR: lambda a, b: a >> (b & 63),
+}
+
+_FOLDABLE_UNARY = {
+    Opcode.NEG: lambda a: -a,
+    Opcode.NOT: lambda a: ~a,
+}
+
+
+def propagate_block_constants(program):
+    """Return (new_program, instructions folded)."""
+    new_program = program.copy()
+    instructions = new_program.instructions
+    leaders = set(compute_leaders(new_program))
+
+    folded = 0
+    known = {}
+    for address, instr in enumerate(instructions):
+        if address in leaders:
+            known = {}
+        op = instr.op
+
+        if op is Opcode.LI:
+            known[instr.dest] = instr.imm
+            continue
+
+        if op is Opcode.MOV and instr.a in known:
+            value = known[instr.a]
+            instr.op = Opcode.LI
+            instr.imm = value
+            instr.a = None
+            known[instr.dest] = value
+            folded += 1
+            continue
+
+        if op in _FOLDABLE_BINARY and instr.a in known and instr.b in known:
+            value = _FOLDABLE_BINARY[op](known[instr.a], known[instr.b])
+            _to_li(instr, value)
+            known[instr.dest] = value
+            folded += 1
+            continue
+
+        if op in (Opcode.DIV, Opcode.REM) and instr.a in known \
+                and instr.b in known and known[instr.b] != 0:
+            operation = _c_div if op is Opcode.DIV else _c_rem
+            value = operation(known[instr.a], known[instr.b])
+            _to_li(instr, value)
+            known[instr.dest] = value
+            folded += 1
+            continue
+
+        if op in _FOLDABLE_UNARY and instr.a in known:
+            value = _FOLDABLE_UNARY[op](known[instr.a])
+            _to_li(instr, value)
+            known[instr.dest] = value
+            folded += 1
+            continue
+
+        # Anything else that writes a register makes it unknown.
+        if instr.dest is not None:
+            known.pop(instr.dest, None)
+        # A call clobbers nothing in the caller's frame (frames are
+        # private), but RESULT reads the callee's value — handled by
+        # the dest rule above.  Branches end blocks; the leader reset
+        # covers them.
+
+    new_program.validate()
+    return new_program, folded
+
+
+def _to_li(instr, value):
+    instr.op = Opcode.LI
+    instr.imm = value
+    instr.a = None
+    instr.b = None

@@ -1,0 +1,69 @@
+"""Unreachable-code elimination.
+
+Marks every instruction reachable from the program entry by following
+fall-through, branch targets, call targets, jump-table entries, and
+call-return continuations, then drops the rest.  Function entries not
+reachable from the entry point are dropped along with their bodies
+(their ``functions`` entries are removed too).
+"""
+
+from repro.isa.opcodes import Opcode
+from repro.opt.rewrite import rebuild
+
+_NO_FALL_THROUGH = frozenset({Opcode.JUMP, Opcode.RET, Opcode.JIND,
+                              Opcode.HALT})
+
+
+def _reachable(program):
+    instructions = program.instructions
+    size = len(instructions)
+    reachable = [False] * size
+    worklist = [program.entry]
+    table_entries = [entry for table in program.jump_tables
+                     for entry in table.entries]
+
+    while worklist:
+        address = worklist.pop()
+        while 0 <= address < size and not reachable[address]:
+            reachable[address] = True
+            instr = instructions[address]
+            op = instr.op
+            if instr.is_branch and isinstance(instr.target, int):
+                if not reachable[instr.target]:
+                    worklist.append(instr.target)
+            if op is Opcode.JIND:
+                # Conservatively: any jump-table entry is a successor.
+                for entry in table_entries:
+                    if not reachable[entry]:
+                        worklist.append(entry)
+            if op in _NO_FALL_THROUGH:
+                break
+            # Forward slots belong to their branch: keep them (their
+            # own control flow is covered by the branch targets).
+            for offset in range(1, instr.n_slots + 1):
+                if address + offset < size:
+                    reachable[address + offset] = True
+            # CALL and conditional branches fall through, past any
+            # slots the instruction owns.
+            address += 1 + instr.n_slots
+    return reachable
+
+
+def remove_dead_code(program):
+    """Return (new_program, instructions removed)."""
+    reachable = _reachable(program)
+    removed = reachable.count(False)
+    if removed == 0:
+        return program.copy(), 0
+
+    new_program = rebuild(program, reachable)
+    # Drop function symbols whose entry died.
+    dead_functions = [
+        name for name, label in program.functions.items()
+        if not reachable[program.labels[label]]
+    ]
+    for name in dead_functions:
+        label = new_program.functions.pop(name)
+        new_program.labels.pop(label, None)
+    new_program.validate()
+    return new_program, removed

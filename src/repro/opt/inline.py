@@ -1,0 +1,221 @@
+"""Function inlining.
+
+The IMPACT compiler the paper used was known for aggressive inlining;
+this pass brings the same capability to the Minic toolchain.  A call
+site is inlined when the callee is a small leaf:
+
+* body no longer than ``max_callee_size`` instructions,
+* contains no CALL (leaf, and therefore not recursive),
+* contains no TABLE/JIND (jump tables are program-global and would
+  need duplication).
+
+At an eligible site the contiguous ``ARG ... ARG CALL`` group becomes
+``MOV``s into a fresh register range followed by a copy of the callee
+body with registers and internal branch targets rebased; every RET in
+the copy becomes a JUMP to the continuation.  ``RETV``/``RESULT``
+semantics carry over unchanged (the VM's return-value register works
+identically without the call), so a trailing ``RESULT`` keeps working.
+
+Callees left without callers become unreachable and are swept by the
+dead-code pass; trailing jumps-to-next introduced by inlined epilogue
+RETs are swept by the peephole pass.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+class InlineReport:
+    __slots__ = ("sites_inlined", "instructions_added", "eligible_functions")
+
+    def __init__(self):
+        self.sites_inlined = 0
+        self.instructions_added = 0
+        self.eligible_functions = ()
+
+    def __repr__(self):
+        return "InlineReport(%d sites, +%d instructions, eligible=%r)" % (
+            self.sites_inlined, self.instructions_added,
+            self.eligible_functions)
+
+
+def _function_ranges(program):
+    """name -> (start, end) address range, assuming contiguous bodies
+    in emission order (true for Minic compiler output)."""
+    entries = sorted(
+        (program.labels[label], name)
+        for name, label in program.functions.items()
+    )
+    ranges = {}
+    for position, (start, name) in enumerate(entries):
+        end = (entries[position + 1][0] if position + 1 < len(entries)
+               else len(program.instructions))
+        ranges[name] = (start, end)
+    return ranges
+
+
+_FORBIDDEN_IN_CALLEE = frozenset({Opcode.CALL, Opcode.TABLE, Opcode.JIND})
+
+
+def _eligible_functions(program, ranges, max_callee_size):
+    eligible = {}
+    for name, (start, end) in ranges.items():
+        if name in ("main", "__start"):
+            continue
+        body = program.instructions[start:end]
+        if len(body) > max_callee_size:
+            continue
+        if any(instr.op in _FORBIDDEN_IN_CALLEE for instr in body):
+            continue
+        if any(instr.is_branch and isinstance(instr.target, int)
+               and not start <= instr.target < end
+               for instr in body if instr.op is not Opcode.RET):
+            continue  # body branches outside itself (shared epilogue?)
+        eligible[start] = (name, start, end, _required_arguments(body))
+    return eligible
+
+
+def _required_arguments(body):
+    """Registers the callee reads before writing (linear
+    over-approximation): the arguments it expects in its frame."""
+    written = set()
+    required = set()
+    for instr in body:
+        for register in (instr.a, instr.b):
+            if register is not None and register not in written:
+                required.add(register)
+        if instr.dest is not None:
+            written.add(instr.dest)
+    return required
+
+
+def _max_register(program):
+    highest = 0
+    for instr in program.instructions:
+        for register in (instr.dest, instr.a, instr.b):
+            if register is not None and register > highest:
+                highest = register
+    return highest
+
+
+def inline_functions(program, max_callee_size=24, max_growth=2.0):
+    """Inline small leaf functions; returns (new_program, InlineReport).
+
+    ``max_growth`` caps the output size relative to the input; once
+    reached, remaining call sites are left alone.
+    """
+    ranges = _function_ranges(program)
+    eligible = _eligible_functions(program, ranges, max_callee_size)
+    report = InlineReport()
+    report.eligible_functions = tuple(sorted(
+        entry[0] for entry in eligible.values()))
+    if not eligible:
+        return program.copy(), report
+
+    instructions = program.instructions
+    size = len(instructions)
+    growth_limit = int(size * max_growth)
+    register_base = _max_register(program) + 1
+
+    out = []
+    finalised = set()   # out-indices whose targets are already new
+    address_map = {}
+
+    index = 0
+    while index < size:
+        instr = instructions[index]
+
+        # Detect an ARG* CALL group eligible for inlining.
+        group_end = index
+        while (group_end < size
+               and instructions[group_end].op is Opcode.ARG):
+            group_end += 1
+        is_group = (group_end < size
+                    and instructions[group_end].op is Opcode.CALL
+                    and instructions[group_end].target in eligible)
+        if is_group:
+            _, callee_start, callee_end, required = eligible[
+                instructions[group_end].target]
+            body_length = callee_end - callee_start
+            supplied = {instructions[address].imm
+                        for address in range(index, group_end)}
+            # The contiguous ARG group must supply everything the
+            # callee reads (hand-written code may stage arguments
+            # elsewhere: leave such sites alone), and the result must
+            # stay within the growth budget.
+            if not required <= supplied:
+                is_group = False
+            elif (len(out) + (size - group_end) + body_length
+                  + len(supplied)) > growth_limit:
+                is_group = False
+
+        if not is_group:
+            address_map[index] = len(out)
+            out.append(instr.copy())
+            index += 1
+            continue
+
+        # The whole group maps to the first emitted instruction.
+        for address in range(index, group_end + 1):
+            address_map[address] = len(out)
+
+        # ARG k, rA  ->  MOV (base + k), rA
+        for address in range(index, group_end):
+            argument = instructions[address]
+            out.append(Instruction(Opcode.MOV,
+                                   dest=register_base + argument.imm,
+                                   a=argument.a))
+            finalised.add(len(out) - 1)
+
+        body_start_out = len(out)
+        continuation = body_start_out + body_length
+        for offset in range(body_length):
+            source = instructions[callee_start + offset]
+            duplicate = source.copy()
+            _rebase_registers(duplicate, register_base)
+            if duplicate.op is Opcode.RET:
+                duplicate = Instruction(Opcode.JUMP, target=continuation)
+            elif duplicate.is_branch and isinstance(duplicate.target, int):
+                duplicate.target = (body_start_out
+                                    + (duplicate.target - callee_start))
+            out.append(duplicate)
+            finalised.add(len(out) - 1)
+
+        report.sites_inlined += 1
+        index = group_end + 1
+
+    address_map[size] = len(out)
+
+    new_program = Program(program.name)
+    new_program.globals_size = program.globals_size
+    new_program.data_init = dict(program.data_init)
+    new_program.instructions = out
+    for position, instr in enumerate(out):
+        if position in finalised:
+            continue
+        if instr.is_branch and isinstance(instr.target, int):
+            instr.target = address_map[instr.target]
+        if instr.orig_target is not None:
+            instr.orig_target = address_map[instr.orig_target]
+    for table in program.jump_tables:
+        duplicate = table.copy()
+        duplicate.entries = [address_map[entry] for entry in duplicate.entries]
+        new_program.jump_tables.append(duplicate)
+    for name, label in program.functions.items():
+        new_program.labels[label] = address_map[program.labels[label]]
+        new_program.functions[name] = label
+
+    new_program.resolved = True
+    new_program.validate()
+    report.instructions_added = len(out) - size
+    return new_program, report
+
+
+def _rebase_registers(instr, base):
+    if instr.dest is not None:
+        instr.dest += base
+    if instr.a is not None:
+        instr.a += base
+    if instr.b is not None:
+        instr.b += base

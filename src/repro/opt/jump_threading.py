@@ -1,0 +1,39 @@
+"""Jump threading: branches that target a JUMP follow it through.
+
+``beq ..., L1`` where ``L1: jump L2`` becomes ``beq ..., L2``.  Chains
+are followed to their end; cycles of jumps (an empty infinite loop)
+are left alone.  The pass mutates a copy and never changes program
+size, so no address remapping is needed.
+"""
+
+from repro.isa.opcodes import Opcode
+
+
+def _final_target(instructions, target):
+    """Follow a chain of JUMPs from ``target``; returns the last
+    address before a non-JUMP (or the start on a cycle)."""
+    seen = set()
+    current = target
+    while (current not in seen
+           and instructions[current].op is Opcode.JUMP):
+        seen.add(current)
+        current = instructions[current].target
+    if current in seen:
+        return target  # jump cycle: leave it
+    return current
+
+
+def thread_jumps(program):
+    """Return (new_program, number of branches retargeted)."""
+    new_program = program.copy()
+    instructions = new_program.instructions
+    changed = 0
+    for instr in instructions:
+        if not (instr.is_branch and isinstance(instr.target, int)):
+            continue
+        final = _final_target(instructions, instr.target)
+        if final != instr.target:
+            instr.target = final
+            changed += 1
+    new_program.validate()
+    return new_program, changed

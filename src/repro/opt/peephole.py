@@ -1,0 +1,42 @@
+"""Peephole clean-ups that shrink the program.
+
+Two patterns, applied together through one rebuild:
+
+* ``mov rX, rX`` — a self-move does nothing;
+* ``jump L`` where ``L`` is the next instruction — fall through
+  instead.
+
+Instructions that are branch targets must not be deleted blindly:
+``rebuild`` forwards targets to the next kept instruction, which is
+exactly correct for both patterns (the deleted instruction's only
+effect was to reach the next one).
+"""
+
+from repro.isa.opcodes import Opcode
+from repro.opt.rewrite import rebuild
+
+
+def peephole(program):
+    """Return (new_program, instructions removed)."""
+    instructions = program.instructions
+    keep = [True] * len(instructions)
+    # Forward-slot regions must keep their exact length: protect them.
+    protected = [False] * len(instructions)
+    for address, instr in enumerate(instructions):
+        for offset in range(1, instr.n_slots + 1):
+            if address + offset < len(instructions):
+                protected[address + offset] = True
+    removed = 0
+    for address, instr in enumerate(instructions):
+        if protected[address]:
+            continue
+        if (instr.op is Opcode.MOV and instr.dest == instr.a):
+            keep[address] = False
+            removed += 1
+        elif (instr.op is Opcode.JUMP and instr.n_slots == 0
+              and instr.target == address + 1):
+            keep[address] = False
+            removed += 1
+    if removed == 0:
+        return program.copy(), 0
+    return rebuild(program, keep), removed

@@ -1,0 +1,86 @@
+"""Optimization driver: run all passes to a fixed point."""
+
+from repro.opt.block_constants import propagate_block_constants
+from repro.opt.dead_code import remove_dead_code
+from repro.opt.inline import inline_functions
+from repro.opt.jump_threading import thread_jumps
+from repro.opt.peephole import peephole
+
+
+class OptimizationReport:
+    """What the optimizer did."""
+
+    __slots__ = ("original_size", "final_size", "jumps_threaded",
+                 "dead_removed", "peephole_removed", "constants_folded",
+                 "sites_inlined", "iterations")
+
+    def __init__(self):
+        self.original_size = 0
+        self.final_size = 0
+        self.jumps_threaded = 0
+        self.dead_removed = 0
+        self.peephole_removed = 0
+        self.constants_folded = 0
+        self.sites_inlined = 0
+        self.iterations = 0
+
+    @property
+    def shrink_fraction(self):
+        if self.original_size == 0:
+            return 0.0
+        return (self.original_size - self.final_size) / self.original_size
+
+    def __repr__(self):
+        return ("OptimizationReport(%d -> %d instructions, "
+                "%d threaded, %d dead, %d peephole, %d folded, "
+                "%d inlined, %d iterations)"
+                % (self.original_size, self.final_size,
+                   self.jumps_threaded, self.dead_removed,
+                   self.peephole_removed, self.constants_folded,
+                   self.sites_inlined, self.iterations))
+
+
+def optimize(program, max_iterations=8, inline=False,
+             max_callee_size=24):
+    """Run jump threading, dead-code removal, peephole, and local
+    constant folding to a fixed point; optionally inline small leaf
+    functions first (the IMPACT style — changes the dynamic branch mix
+    by removing call/return pairs, so it is opt-in).
+
+    Returns (optimized_program, :class:`OptimizationReport`).  The
+    input program is not modified.
+    """
+    report = OptimizationReport()
+    report.original_size = len(program.instructions)
+
+    current = program
+    if inline:
+        current, inline_report = inline_functions(
+            current, max_callee_size=max_callee_size)
+        report.sites_inlined = inline_report.sites_inlined
+
+    for _ in range(max_iterations):
+        report.iterations += 1
+        changed = 0
+
+        current, threaded = thread_jumps(current)
+        report.jumps_threaded += threaded
+        changed += threaded
+
+        current, dead = remove_dead_code(current)
+        report.dead_removed += dead
+        changed += dead
+
+        current, removed = peephole(current)
+        report.peephole_removed += removed
+        changed += removed
+
+        current, folded = propagate_block_constants(current)
+        report.constants_folded += folded
+        changed += folded
+
+        if changed == 0:
+            break
+
+    report.final_size = len(current.instructions)
+    return current, report

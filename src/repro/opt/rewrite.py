@@ -1,0 +1,61 @@
+"""Shared utilities for passes that delete or reorder instructions.
+
+Deleting an instruction shifts every later address, so passes that
+shrink a program express their result as a *keep mask* and this module
+rebuilds the program, remapping branch targets, jump tables, and
+function labels through the old-to-new address map.
+"""
+
+from repro.isa.program import Program
+
+
+def rebuild(program, keep):
+    """Rebuild ``program`` keeping only the instructions where
+    ``keep[address]`` is true.
+
+    Branch targets pointing at a deleted instruction are forwarded to
+    the next kept instruction (callers must guarantee that is
+    semantically valid — e.g. the deleted instruction was a fall-
+    through jump or unreachable).
+
+    Returns the new resolved program.
+    """
+    if len(keep) != len(program.instructions):
+        raise ValueError("keep mask length mismatch")
+
+    # address_map[a] = new address of the first kept instruction at or
+    # after a.
+    address_map = [0] * (len(program.instructions) + 1)
+    new_count = 0
+    for address, kept in enumerate(keep):
+        address_map[address] = new_count
+        if kept:
+            new_count += 1
+    address_map[len(program.instructions)] = new_count
+
+    new_program = Program(program.name)
+    new_program.globals_size = program.globals_size
+    new_program.data_init = dict(program.data_init)
+
+    for address, instr in enumerate(program.instructions):
+        if not keep[address]:
+            continue
+        duplicate = instr.copy()
+        if duplicate.is_branch and isinstance(duplicate.target, int):
+            duplicate.target = address_map[duplicate.target]
+        if duplicate.orig_target is not None:
+            duplicate.orig_target = address_map[duplicate.orig_target]
+        new_program.instructions.append(duplicate)
+
+    for table in program.jump_tables:
+        duplicate = table.copy()
+        duplicate.entries = [address_map[entry] for entry in duplicate.entries]
+        new_program.jump_tables.append(duplicate)
+
+    for name, label in program.functions.items():
+        new_program.labels[label] = address_map[program.labels[label]]
+        new_program.functions[name] = label
+
+    new_program.resolved = True
+    new_program.validate()
+    return new_program

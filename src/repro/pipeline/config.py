@@ -1,0 +1,60 @@
+"""Pipeline configuration (the paper's k, l, m, l_bar, m_bar)."""
+
+
+class PipelineConfig:
+    """Parameters of the pipelined microarchitecture.
+
+    Args:
+        k: instruction-memory access stages in the fetch unit (the
+            fetch unit has k + 1 stages including next-address
+            selection).
+        l: decode stages.
+        m: execute stages.
+        l_bar: average decode-flush penalty, 0 <= l_bar <= l; defaults
+            to l (the RISC case the paper notes).
+        m_bar: average execute-flush penalty; defaults to
+            f_cond * m — the paper's value for compiler-implemented
+            static interlocking, where f_cond is the fraction of
+            branches that are conditional.
+        f_cond: fraction of dynamic branches that are conditional
+            (used only for the m_bar default).
+    """
+
+    __slots__ = ("k", "l", "m", "l_bar", "m_bar", "f_cond")
+
+    def __init__(self, k, l, m, l_bar=None, m_bar=None, f_cond=1.0):
+        if k < 0 or l < 0 or m < 0:
+            raise ValueError("stage counts must be non-negative")
+        if not 0.0 <= f_cond <= 1.0:
+            raise ValueError("f_cond must lie in [0, 1]")
+        self.k = k
+        self.l = l
+        self.m = m
+        self.f_cond = f_cond
+        self.l_bar = float(l) if l_bar is None else float(l_bar)
+        self.m_bar = (f_cond * m) if m_bar is None else float(m_bar)
+        if not 0.0 <= self.l_bar <= l:
+            raise ValueError("l_bar must lie in [0, l]")
+        if not 0.0 <= self.m_bar <= m:
+            raise ValueError("m_bar must lie in [0, m]")
+
+    @property
+    def flush_penalty(self):
+        """Average instructions flushed on a misprediction:
+        k + l_bar + m_bar."""
+        return self.k + self.l_bar + self.m_bar
+
+    @property
+    def depth(self):
+        """Total pipeline stages: (k + 1) + l + m + 1 (state update)."""
+        return self.k + 1 + self.l + self.m + 1
+
+    def __repr__(self):
+        return ("PipelineConfig(k=%d, l=%d, m=%d, l_bar=%.2f, m_bar=%.2f)"
+                % (self.k, self.l, self.m, self.l_bar, self.m_bar))
+
+    def __eq__(self, other):
+        if not isinstance(other, PipelineConfig):
+            return NotImplemented
+        return (self.k, self.l, self.m, self.l_bar, self.m_bar) == (
+            other.k, other.l, other.m, other.l_bar, other.m_bar)

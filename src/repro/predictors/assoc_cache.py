@@ -1,0 +1,93 @@
+"""Associative tag store with LRU replacement.
+
+Backs both BTB schemes.  Fully associative by default (the paper's
+configuration); bounded set-associativity is available for the
+feasibility ablation the paper alludes to ("with 256 entries, it may
+not be feasible to implement full associativity").
+"""
+
+from collections import OrderedDict
+
+
+class AssociativeCache:
+    """A (set-)associative key -> value store with per-set LRU.
+
+    Args:
+        entries: total capacity.
+        associativity: ways per set; ``None`` means fully associative.
+            Must divide ``entries`` evenly.
+    """
+
+    def __init__(self, entries, associativity=None):
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if associativity is None:
+            associativity = entries
+        if associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if entries % associativity != 0:
+            raise ValueError("associativity must divide entry count")
+        self.entries = entries
+        self.associativity = associativity
+        self.n_sets = entries // associativity
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+
+    def _set_for(self, key):
+        return self._sets[key % self.n_sets]
+
+    def lookup(self, key):
+        """Return the stored value (refreshing LRU) or None on miss.
+
+        Store values must not be None: None is the miss sentinel.
+        """
+        bucket = self._set_for(key)
+        value = bucket.get(key)
+        if value is None:
+            return None
+        bucket.move_to_end(key)
+        return value
+
+    def contains(self, key):
+        """Membership test without touching LRU order."""
+        return key in self._set_for(key)
+
+    def insert(self, key, value):
+        """Insert or update, evicting the set's LRU entry when full.
+
+        Returns the evicted (key, value) pair or None.
+        """
+        if value is None:
+            raise ValueError("None values are reserved for misses")
+        bucket = self._set_for(key)
+        if key in bucket:
+            bucket[key] = value
+            bucket.move_to_end(key)
+            return None
+        evicted = None
+        if len(bucket) >= self.associativity:
+            evicted = bucket.popitem(last=False)
+        bucket[key] = value
+        return evicted
+
+    def delete(self, key):
+        """Remove ``key`` if present; returns True when removed."""
+        bucket = self._set_for(key)
+        if key in bucket:
+            del bucket[key]
+            return True
+        return False
+
+    def clear(self):
+        for bucket in self._sets:
+            bucket.clear()
+
+    def __len__(self):
+        return sum(len(bucket) for bucket in self._sets)
+
+    def items(self):
+        for bucket in self._sets:
+            yield from bucket.items()
+
+    def __repr__(self):
+        return "AssociativeCache(%d entries, %d-way, %d used)" % (
+            self.entries, self.associativity, len(self))

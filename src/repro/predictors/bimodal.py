@@ -1,0 +1,109 @@
+"""Bimodal and tournament predictors (the rest of the hardware
+lineage).
+
+* :class:`Bimodal` — a tagless table of 2-bit counters indexed by the
+  branch address (J. E. Smith's original proposal, which the paper's
+  CBTB wraps in a tagged buffer).  Aliasing between branches that
+  share a table slot is the characteristic failure mode.
+* :class:`Tournament` — McFarling's combining predictor: a chooser
+  table of 2-bit counters picks, per branch, between two component
+  predictors (bimodal and gshare by default), learning which one is
+  right more often.
+
+Both use a BTB-style target store for taken predictions, like
+:class:`~repro.predictors.twolevel.GShare`, so they are scored on the
+same terms as the paper's schemes.
+"""
+
+from repro.predictors.assoc_cache import AssociativeCache
+from repro.predictors.base import Prediction, Predictor
+from repro.predictors.twolevel import GShare
+from repro.vm.tracing import BranchClass
+
+
+class Bimodal(Predictor):
+    """Tagless PC-indexed 2-bit counter table + BTB target store."""
+
+    name = "bimodal"
+
+    def __init__(self, table_bits=12, entries=256, associativity=None):
+        if table_bits <= 0:
+            raise ValueError("table_bits must be positive")
+        self.table_mask = (1 << table_bits) - 1
+        self.counters = [1] * (1 << table_bits)
+        self._targets = AssociativeCache(entries, associativity)
+
+    def predict(self, site, branch_class):
+        if branch_class != BranchClass.CONDITIONAL:
+            target = self._targets.lookup(site)
+            if target is None:
+                return Prediction(False, hit=False)
+            return Prediction(True, target=target, hit=True)
+        if self.counters[site & self.table_mask] >= 2:
+            target = self._targets.lookup(site)
+            if target is None:
+                return Prediction(False, hit=False)
+            return Prediction(True, target=target, hit=True)
+        return Prediction(False, hit=self._targets.contains(site))
+
+    def update(self, site, branch_class, taken, target):
+        if branch_class == BranchClass.CONDITIONAL:
+            index = site & self.table_mask
+            counter = self.counters[index]
+            if taken and counter < 3:
+                self.counters[index] = counter + 1
+            elif not taken and counter > 0:
+                self.counters[index] = counter - 1
+        if taken:
+            self._targets.insert(site, target)
+
+    def reset(self):
+        self.counters = [1] * len(self.counters)
+        self._targets.clear()
+
+
+class Tournament(Predictor):
+    """A chooser selects between two direction predictors per branch.
+
+    The chooser counter moves toward the component that was correct
+    when they disagree (0-1 favour the first component, 2-3 the
+    second).
+    """
+
+    name = "tournament"
+
+    def __init__(self, first=None, second=None, chooser_bits=12):
+        self.first = first if first is not None else Bimodal()
+        self.second = second if second is not None else GShare()
+        if chooser_bits <= 0:
+            raise ValueError("chooser_bits must be positive")
+        self.chooser_mask = (1 << chooser_bits) - 1
+        self.chooser = [1] * (1 << chooser_bits)
+
+    def predict(self, site, branch_class):
+        if branch_class != BranchClass.CONDITIONAL:
+            # Target-only behaviour: defer to the first component's BTB.
+            return self.first.predict(site, branch_class)
+        if self.chooser[site & self.chooser_mask] >= 2:
+            return self.second.predict(site, branch_class)
+        return self.first.predict(site, branch_class)
+
+    def update(self, site, branch_class, taken, target):
+        if branch_class == BranchClass.CONDITIONAL:
+            first_right = (self.first.predict(site, branch_class).taken
+                           == bool(taken))
+            second_right = (self.second.predict(site, branch_class).taken
+                            == bool(taken))
+            if first_right != second_right:
+                index = site & self.chooser_mask
+                if second_right and self.chooser[index] < 3:
+                    self.chooser[index] += 1
+                elif first_right and self.chooser[index] > 0:
+                    self.chooser[index] -= 1
+        self.first.update(site, branch_class, taken, target)
+        self.second.update(site, branch_class, taken, target)
+
+    def reset(self):
+        self.first.reset()
+        self.second.reset()
+        self.chooser = [1] * len(self.chooser)

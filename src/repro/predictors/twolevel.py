@@ -1,0 +1,86 @@
+"""A two-level adaptive (gshare-style) predictor — a post-1989
+extension.
+
+The paper closes with "new solutions to the branch problem ... must be
+developed"; the next decade's answer was two-level adaptive prediction
+(Yeh & Patt 1991, McFarling's gshare 1993).  This module implements
+gshare on the same trace-driven interface so the reproduction can show
+where the hardware state of the art went after the paper:
+
+* a global history register of the last ``history_bits`` conditional
+  outcomes;
+* a pattern history table of 2-bit saturating counters indexed by
+  (branch address XOR global history);
+* the same 256-entry BTB-style target store as the paper's schemes
+  (a direction predictor alone cannot supply the target path).
+"""
+
+from repro.predictors.assoc_cache import AssociativeCache
+from repro.predictors.base import Prediction, Predictor
+from repro.vm.tracing import BranchClass
+
+
+class GShare(Predictor):
+    """gshare direction prediction + BTB target store."""
+
+    name = "gshare"
+
+    def __init__(self, history_bits=8, table_bits=12, entries=256,
+                 associativity=None):
+        if history_bits < 0 or table_bits <= 0:
+            raise ValueError("history_bits/table_bits out of range")
+        if history_bits > table_bits:
+            raise ValueError("history cannot exceed the table index width")
+        self.history_bits = history_bits
+        self.table_mask = (1 << table_bits) - 1
+        self.history_mask = (1 << history_bits) - 1 if history_bits else 0
+        self.history = 0
+        # 2-bit counters, initialised weakly not-taken (1).
+        self.counters = [1] * (1 << table_bits)
+        self._targets = AssociativeCache(entries, associativity)
+
+    def _index(self, site):
+        return (site ^ self.history) & self.table_mask
+
+    def predict(self, site, branch_class):
+        if branch_class != BranchClass.CONDITIONAL:
+            # Unconditional branches: BTB behaviour (hit -> taken with
+            # the stored target).
+            target = self._targets.lookup(site)
+            if target is None:
+                return Prediction(False, hit=False)
+            return Prediction(True, target=target, hit=True)
+        taken = self.counters[self._index(site)] >= 2
+        if not taken:
+            return Prediction(False, hit=self._targets.contains(site))
+        target = self._targets.lookup(site)
+        if target is None:
+            # Predicted taken but no target available: the fetch unit
+            # can only fall through.
+            return Prediction(False, hit=False)
+        return Prediction(True, target=target, hit=True)
+
+    def update(self, site, branch_class, taken, target):
+        if branch_class == BranchClass.CONDITIONAL:
+            index = self._index(site)
+            counter = self.counters[index]
+            if taken:
+                if counter < 3:
+                    self.counters[index] = counter + 1
+            else:
+                if counter > 0:
+                    self.counters[index] = counter - 1
+            if self.history_bits:
+                self.history = ((self.history << 1) | (1 if taken else 0)) \
+                    & self.history_mask
+        if taken:
+            self._targets.insert(site, target)
+
+    def reset(self):
+        self.history = 0
+        self.counters = [1] * len(self.counters)
+        self._targets.clear()
+
+    def __repr__(self):
+        return "GShare(%d-bit history, %d counters)" % (
+            self.history_bits, len(self.counters))

@@ -1,0 +1,160 @@
+"""Block and branch profiles accumulated over one or more runs."""
+
+from repro.cfg import ControlFlowGraph
+from repro.vm.machine import Machine
+from repro.vm.tracing import BranchClass
+
+
+class Profile:
+    """Execution profile of a program over an input suite.
+
+    Attributes:
+        block_counts: leader address -> number of times the block ran.
+        branch_execs: conditional branch site -> executions.
+        branch_taken: conditional branch site -> taken count.
+        edge_counts: (site, target) -> taken-transfer count, for
+            conditional (taken direction), JUMP, CALL, and JIND records.
+        runs: number of profiling runs accumulated.
+        total_instructions: dynamic instructions over all runs.
+    """
+
+    def __init__(self):
+        self.block_counts = {}
+        self.branch_execs = {}
+        self.branch_taken = {}
+        self.edge_counts = {}
+        self.runs = 0
+        self.total_instructions = 0
+
+    # -- accumulation ------------------------------------------------------
+
+    def add_run(self, probe_counts, trace):
+        """Fold one profiling run (probe counts + branch trace) in."""
+        for leader, count in probe_counts.items():
+            self.block_counts[leader] = self.block_counts.get(leader, 0) + count
+        self.add_trace(trace)
+        self.runs += 1
+
+    def add_trace(self, trace):
+        """Fold a branch trace's per-site statistics in."""
+        execs = self.branch_execs
+        taken_counts = self.branch_taken
+        edges = self.edge_counts
+        for site, branch_class, taken, target, _ in trace.records():
+            if branch_class == BranchClass.CONDITIONAL:
+                execs[site] = execs.get(site, 0) + 1
+                if taken:
+                    taken_counts[site] = taken_counts.get(site, 0) + 1
+                    edges[(site, target)] = edges.get((site, target), 0) + 1
+            elif branch_class != BranchClass.RETURN:
+                edges[(site, target)] = edges.get((site, target), 0) + 1
+        self.total_instructions += trace.total_instructions
+
+    def merge(self, other):
+        """Fold another profile in (e.g. from a different input)."""
+        for leader, count in other.block_counts.items():
+            self.block_counts[leader] = self.block_counts.get(leader, 0) + count
+        for site, count in other.branch_execs.items():
+            self.branch_execs[site] = self.branch_execs.get(site, 0) + count
+        for site, count in other.branch_taken.items():
+            self.branch_taken[site] = self.branch_taken.get(site, 0) + count
+        for edge, count in other.edge_counts.items():
+            self.edge_counts[edge] = self.edge_counts.get(edge, 0) + count
+        self.runs += other.runs
+        self.total_instructions += other.total_instructions
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def block_weight(self, leader):
+        """Execution count of the block starting at ``leader``."""
+        return self.block_counts.get(leader, 0)
+
+    def taken_fraction(self, site):
+        """Fraction of executions of conditional branch ``site`` taken.
+
+        Returns None when the branch never executed in the profile.
+        """
+        execs = self.branch_execs.get(site, 0)
+        if execs == 0:
+            return None
+        return self.branch_taken.get(site, 0) / execs
+
+    def edge_count(self, source_site, target):
+        return self.edge_counts.get((source_site, target), 0)
+
+    # -- serialisation ----------------------------------------------------------
+
+    def to_dict(self):
+        """A JSON-serialisable representation (for on-disk caching)."""
+        return {
+            "block_counts": sorted(self.block_counts.items()),
+            "branch_execs": sorted(self.branch_execs.items()),
+            "branch_taken": sorted(self.branch_taken.items()),
+            "edge_counts": sorted(
+                ([site, target], count)
+                for (site, target), count in self.edge_counts.items()
+            ),
+            "runs": self.runs,
+            "total_instructions": self.total_instructions,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        profile = cls()
+        profile.block_counts = {key: value for key, value in data["block_counts"]}
+        profile.branch_execs = {key: value for key, value in data["branch_execs"]}
+        profile.branch_taken = {key: value for key, value in data["branch_taken"]}
+        profile.edge_counts = {
+            (edge[0], edge[1]): count for edge, count in data["edge_counts"]
+        }
+        profile.runs = data["runs"]
+        profile.total_instructions = data["total_instructions"]
+        return profile
+
+    def __repr__(self):
+        return "Profile(%d runs, %d blocks, %d cond sites, %d instructions)" % (
+            self.runs, len(self.block_counts), len(self.branch_execs),
+            self.total_instructions)
+
+
+def profile_program(program, input_suite, cfg=None,
+                    max_instructions=200_000_000):
+    """Profile ``program`` over ``input_suite``.
+
+    Args:
+        program: resolved program.
+        input_suite: list of runs, each a sequence of input streams.
+        cfg: optional pre-built :class:`ControlFlowGraph`.
+        max_instructions: per-run instruction budget.
+
+    Returns:
+        (profile, outputs) — the accumulated :class:`Profile` and the
+        list of per-run output byte strings (useful for checking the
+        transformed program later).
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph.from_program(program)
+    leaders = cfg.leaders
+    profile = Profile()
+    outputs = []
+    for streams in input_suite:
+        machine = Machine(program, inputs=streams, trace=True,
+                          probe_addresses=leaders,
+                          max_instructions=max_instructions)
+        result = machine.run()
+        profile.add_run(result.probe_counts, result.trace)
+        outputs.append(result.output)
+    return profile, outputs
+
+
+def profile_trace(trace):
+    """Build a branch-only profile from an existing trace.
+
+    Block counts are absent; usable by consumers that only need branch
+    direction statistics (e.g. likely-bit assignment checks).
+    """
+    profile = Profile()
+    profile.add_trace(trace)
+    profile.runs = 1
+    return profile

@@ -1,0 +1,51 @@
+"""Profile-driven code transformation: the Forward Semantic compiler.
+
+Three passes, matching Section 2.2 of the paper:
+
+1. **Trace selection** (:mod:`repro.traceopt.trace_selection`) — the
+   Hwu-Chang algorithm groups basic blocks that virtually always execute
+   together into traces, seeded at the heaviest unvisited block and
+   grown along mutually-most-likely edges.
+2. **Trace layout** (:mod:`repro.traceopt.layout`) — traces are placed
+   in weight order; branch conditions are inverted so each block's
+   likely successor is its fall-through where possible, leaving
+   likely-taken conditional branches at trace ends; every conditional
+   branch receives its "likely-taken" bit from the profile.
+3. **Forward-slot filling** (:mod:`repro.traceopt.forward_slots`) — the
+   paper's algorithm copies the first k + l instructions of each
+   likely-taken branch's target path into reserved slots after the
+   branch and advances the branch target past the copied prefix.
+"""
+
+from repro.traceopt.trace_selection import Trace, select_traces
+from repro.traceopt.layout import LayoutResult, lay_out_traces, build_fs_program
+from repro.traceopt.forward_slots import ExpansionReport, fill_forward_slots
+from repro.traceopt.likely_bits import heuristic_likely_bits, uniform_likely_bits
+from repro.traceopt.superblock import (
+    SuperblockReport,
+    form_superblocks,
+    reassign_likely_bits,
+)
+from repro.traceopt.describe import (
+    annotate_program,
+    describe_expansion,
+    describe_traces,
+)
+
+__all__ = [
+    "annotate_program",
+    "describe_expansion",
+    "describe_traces",
+    "SuperblockReport",
+    "form_superblocks",
+    "reassign_likely_bits",
+    "Trace",
+    "select_traces",
+    "LayoutResult",
+    "lay_out_traces",
+    "build_fs_program",
+    "ExpansionReport",
+    "fill_forward_slots",
+    "heuristic_likely_bits",
+    "uniform_likely_bits",
+]

@@ -1,0 +1,76 @@
+"""Human-readable descriptions of FS compiler artifacts.
+
+Turns layout results and slot-filled programs into annotated text for
+examples, debugging, and documentation — the compiler's ``-S`` view.
+"""
+
+from repro.isa.assembler import _format_instruction
+
+
+def describe_traces(layout, profile=None, limit=None):
+    """One line per trace: weight, block leaders, placed span."""
+    lines = []
+    pairs = list(zip(layout.traces, layout.trace_spans))
+    if limit is not None:
+        pairs = pairs[:limit]
+    for trace, (start, end) in pairs:
+        lines.append("weight %-10d blocks %-30s -> [%d, %d)"
+                     % (trace.weight, trace.blocks, start, end))
+    if limit is not None and limit < len(layout.traces):
+        lines.append("... %d more traces" % (len(layout.traces) - limit))
+    return "\n".join(lines)
+
+
+def annotate_program(program, start=0, end=None):
+    """Disassembly with likely bits and forward-slot regions marked.
+
+    Slot instructions are indented under their owning branch; likely
+    branches carry ``; likely`` and slot counts.
+    """
+    if end is None:
+        end = len(program.instructions)
+    target_labels = {}
+    for _, instr in program.branch_addresses():
+        if isinstance(instr.target, int):
+            target_labels[instr.target] = "L%d" % instr.target
+
+    lines = []
+    slot_remaining = 0
+    for address in range(start, end):
+        instr = program.instructions[address]
+        text = _format_instruction(instr, _LabelView(), program)
+        marks = []
+        if instr.is_conditional and instr.likely:
+            marks.append("likely")
+        if instr.n_slots:
+            marks.append("%d slots" % instr.n_slots)
+        prefix = "%5d: " % address
+        indent = "        " if slot_remaining else "    "
+        suffix = ("   ; " + ", ".join(marks)) if marks else ""
+        label = target_labels.get(address)
+        if label:
+            lines.append("%s:" % label)
+        lines.append(prefix + indent + text + suffix)
+        if slot_remaining:
+            slot_remaining -= 1
+        if instr.n_slots:
+            slot_remaining = instr.n_slots
+    return "\n".join(lines)
+
+
+class _LabelView(dict):
+    """Address -> synthetic label, generated on demand."""
+
+    def __missing__(self, address):
+        return "L%d" % address
+
+
+def describe_expansion(report):
+    """One-paragraph summary of an ExpansionReport."""
+    return ("%d likely-taken branches received %d slots each: "
+            "%d instruction copies + %d no-ops, growing the code from "
+            "%d to %d instructions (+%.2f%%)."
+            % (report.likely_branches, report.n_slots,
+               report.copied_instructions, report.padding_nops,
+               report.original_size, report.expanded_size,
+               100.0 * report.expansion_fraction))

@@ -1,0 +1,205 @@
+"""Trace layout: reorder blocks so likely paths fall through.
+
+Traces are placed in decreasing weight order.  Inside the new order,
+each block's terminator is rewritten so that:
+
+* a conditional branch whose old fall-through block comes next is kept;
+* a conditional branch whose *taken* block comes next is inverted (the
+  old fall-through becomes the taken target);
+* a conditional branch with neither successor adjacent keeps its taken
+  target and gains an explicit JUMP to the old fall-through;
+* a trailing JUMP to the block that now follows is deleted;
+* a block that used to fall through to a now non-adjacent block gains
+  an explicit JUMP.
+
+After layout every conditional branch receives its "likely-taken" bit
+from the profile (direction-adjusted when the branch was inverted).
+The result is the paper's property that conditional branches predicted
+taken sit at the ends of traces, ready for forward-slot filling.
+"""
+
+from repro.cfg import ControlFlowGraph
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode, invert_branch
+from repro.isa.program import Program
+from repro.traceopt.trace_selection import select_traces
+
+
+class LayoutResult:
+    """Outcome of the layout pass.
+
+    Attributes:
+        program: the laid-out program (resolved, validated), with the
+            ``likely`` bit set on every conditional branch.
+        leader_map: old leader address -> new address.
+        old_address_of: new address -> old instruction address (None
+            for JUMP instructions inserted by the pass).
+        traces: the selected traces (old leader addresses), in layout
+            order.
+        trace_spans: [(new_start, new_end)] per trace, same order.
+    """
+
+    def __init__(self, program, leader_map, old_address_of, traces,
+                 trace_spans):
+        self.program = program
+        self.leader_map = leader_map
+        self.old_address_of = old_address_of
+        self.traces = traces
+        self.trace_spans = trace_spans
+
+    @property
+    def likely_sites(self):
+        """Map of conditional-branch address -> likely bit."""
+        return {
+            address: instr.likely
+            for address, instr in enumerate(self.program.instructions)
+            if instr.is_conditional
+        }
+
+
+def lay_out_traces(program, cfg, profile, traces):
+    """Apply trace layout; returns a :class:`LayoutResult`.
+
+    ``program`` must be the resolved program ``cfg`` and ``profile``
+    were computed from; it is not modified.
+    """
+    ordered_traces = sorted(
+        traces, key=lambda trace: (-trace.weight, trace.blocks[0]))
+    for trace in ordered_traces:
+        _rotate_cyclic_trace(trace, cfg)
+
+    block_order = []
+    for trace in ordered_traces:
+        block_order.extend(trace.blocks)
+    if len(block_order) != len(cfg.blocks):
+        raise ValueError("traces do not cover the CFG exactly")
+
+    next_leader = {}
+    for position, leader in enumerate(block_order):
+        following = (block_order[position + 1]
+                     if position + 1 < len(block_order) else None)
+        next_leader[leader] = following
+
+    # Pass 1: rewrite each block's instruction list.
+    rewritten = {}
+    for leader in block_order:
+        block = cfg.block_at(leader)
+        instructions = [instr.copy()
+                        for instr in cfg.instructions_of(block)]
+        old_addresses = list(range(block.start, block.end))
+        following = next_leader[leader]
+        terminator = instructions[-1]
+
+        if terminator.is_conditional:
+            taken_target = terminator.target
+            fall_through = block.fall_through
+            inverted = False
+            if fall_through == following:
+                pass
+            elif taken_target == following and fall_through is not None:
+                terminator.op = invert_branch(terminator.op)
+                terminator.target = fall_through
+                inverted = True
+            elif fall_through is not None:
+                instructions.append(Instruction(Opcode.JUMP,
+                                                target=fall_through))
+                old_addresses.append(None)
+            _set_likely(terminator, profile, block.end - 1, inverted)
+        elif terminator.op is Opcode.JUMP:
+            if terminator.target == following:
+                instructions.pop()
+                old_addresses.pop()
+        elif terminator.op not in (Opcode.RET, Opcode.JIND, Opcode.HALT):
+            # Plain fall-through block.
+            if block.fall_through is not None and block.fall_through != following:
+                instructions.append(Instruction(Opcode.JUMP,
+                                                target=block.fall_through))
+                old_addresses.append(None)
+
+        rewritten[leader] = (instructions, old_addresses)
+
+    # Pass 2: place blocks, assigning new addresses.
+    new_program = Program(program.name)
+    new_program.globals_size = program.globals_size
+    new_program.data_init = dict(program.data_init)
+    leader_map = {}
+    old_address_of = []
+    trace_spans = []
+    position = 0
+    for trace in ordered_traces:
+        span_start = len(new_program.instructions)
+        for leader in trace.blocks:
+            instructions, old_addresses = rewritten[leader]
+            leader_map[leader] = len(new_program.instructions)
+            new_program.instructions.extend(instructions)
+            old_address_of.extend(old_addresses)
+        trace_spans.append((span_start, len(new_program.instructions)))
+        position += 1
+
+    # Pass 3: remap branch targets, jump tables, and function labels.
+    for instr in new_program.instructions:
+        if instr.is_branch and isinstance(instr.target, int):
+            instr.target = leader_map[instr.target]
+    for table in program.jump_tables:
+        duplicate = table.copy()
+        duplicate.entries = [leader_map[entry] for entry in duplicate.entries]
+        new_program.jump_tables.append(duplicate)
+    for name, label in program.functions.items():
+        new_address = leader_map[program.labels[label]]
+        new_program.labels[label] = new_address
+        new_program.functions[name] = label
+
+    new_program.resolved = True
+    new_program.validate()
+    return LayoutResult(new_program, leader_map, old_address_of,
+                        ordered_traces, trace_spans)
+
+
+def _rotate_cyclic_trace(trace, cfg):
+    """Rotate a cyclic trace so a conditional branch closes the loop.
+
+    Trace growth often returns the loop header first (it is the
+    heaviest block), which would close the loop with an inserted JUMP
+    and leave no likely-taken conditional for forward slots.  When the
+    trace is a cycle (its last block has an edge back to its first) and
+    some in-trace chain edge is the *taken* edge of a conditional
+    branch, rotating the trace to start just past that edge turns it
+    into the trace-closing branch — the natural bottom-tested loop
+    shape with a likely-taken backward conditional, exactly the code
+    the paper's Forward Semantic expects.
+    """
+    blocks = trace.blocks
+    if len(blocks) < 2:
+        return
+    last = cfg.block_at(blocks[-1])
+    if blocks[0] not in last.successors():
+        return  # not a cycle: rotation would break the chain
+    for pivot in range(1, len(blocks)):
+        previous = cfg.block_at(blocks[pivot - 1])
+        is_conditional = (previous.taken_target is not None
+                          and previous.fall_through is not None)
+        if is_conditional and previous.taken_target == blocks[pivot]:
+            trace.blocks = blocks[pivot:] + blocks[:pivot]
+            return
+
+
+def _set_likely(terminator, profile, old_site, inverted):
+    """Assign the likely-taken bit from the profiled taken fraction."""
+    fraction = profile.taken_fraction(old_site)
+    if fraction is None:
+        terminator.likely = False  # never profiled: predict not-taken
+        return
+    if inverted:
+        fraction = 1.0 - fraction
+    terminator.likely = fraction > 0.5
+
+
+def build_fs_program(program, profile, min_probability=0.0):
+    """Convenience pipeline: CFG -> trace selection -> layout.
+
+    Returns the :class:`LayoutResult` for ``program`` under
+    ``profile``.
+    """
+    cfg = ControlFlowGraph.from_program(program)
+    traces = select_traces(cfg, profile, min_probability=min_probability)
+    return lay_out_traces(program, cfg, profile, traces)

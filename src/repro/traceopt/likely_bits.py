@@ -1,0 +1,45 @@
+"""Likely-bit assignment policies.
+
+The profile-driven policy lives in the layout pass (the paper's
+scheme).  This module adds the *static* policies the paper's related
+work surveys, so the value of profiling can be isolated:
+
+* ``heuristic_likely_bits`` — backward-taken/forward-not-taken
+  (J. E. Smith's rule): loop back edges predicted taken, forward
+  branches not-taken.  No profiling run needed.
+* ``uniform_likely_bits`` — predict every conditional branch one way
+  (the all-taken / all-not-taken baselines).
+
+Each returns a modified copy of the program with the likely bits
+rewritten, ready for :class:`~repro.predictors.ForwardSemanticPredictor`
+or forward-slot filling.
+"""
+
+
+def heuristic_likely_bits(program):
+    """Apply the BTFNT rule to every conditional branch.
+
+    Returns (new_program, number of likely-taken bits set).
+    """
+    new_program = program.copy()
+    set_bits = 0
+    for address, instr in enumerate(new_program.instructions):
+        if not instr.is_conditional:
+            continue
+        target = instr.orig_target if instr.orig_target is not None \
+            else instr.target
+        instr.likely = isinstance(target, int) and target <= address
+        if instr.likely:
+            set_bits += 1
+    return new_program, set_bits
+
+
+def uniform_likely_bits(program, taken):
+    """Predict every conditional branch ``taken`` (True) or not."""
+    new_program = program.copy()
+    count = 0
+    for instr in new_program.instructions:
+        if instr.is_conditional:
+            instr.likely = bool(taken)
+            count += 1
+    return new_program, count

@@ -1,0 +1,196 @@
+"""Superblock formation by tail duplication — the authors' next step.
+
+After this paper, the IMPACT group developed the *superblock* (Hwu et
+al., "The superblock: an effective technique for VLIW and superscalar
+compilation"): a trace with no side entrances, obtained by duplicating
+the trace tail for every branch that enters the trace mid-stream.
+
+The interesting effect for this reproduction: duplication gives each
+copy its own branch *sites*, so a static likely bit can specialise per
+calling context — a compile-time analogue of history-based prediction.
+
+The pass runs on a laid-out program (traces are contiguous spans, from
+:class:`~repro.traceopt.layout.LayoutResult`):
+
+1. find side entrances: branch targets inside a span that are not the
+   span's start and have at least one predecessor branch outside it;
+2. append a duplicate of the span suffix ``[entry, span_end)`` at the
+   program end (plus a JUMP to the span's fall-through continuation if
+   the suffix ends by falling through);
+3. retarget every outside branch (and jump-table entry) that pointed
+   at the entry to the duplicate.
+
+Likely bits on duplicated branches are inherited and can be
+re-specialised with :func:`reassign_likely_bits` after re-profiling.
+"""
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+_FALLS_THROUGH_END = frozenset({
+    Opcode.JUMP, Opcode.RET, Opcode.JIND, Opcode.HALT,
+})
+
+
+class SuperblockReport:
+    """What tail duplication did."""
+
+    __slots__ = ("side_entrances", "duplicated_instructions",
+                 "original_size", "final_size")
+
+    def __init__(self):
+        self.side_entrances = 0
+        self.duplicated_instructions = 0
+        self.original_size = 0
+        self.final_size = 0
+
+    @property
+    def growth_fraction(self):
+        if self.original_size == 0:
+            return 0.0
+        return (self.final_size - self.original_size) / self.original_size
+
+    def __repr__(self):
+        return ("SuperblockReport(%d side entrances, +%d instructions, "
+                "+%.1f%%)" % (self.side_entrances,
+                              self.duplicated_instructions,
+                              100 * self.growth_fraction))
+
+
+def _side_entrances(program, spans, max_tail=None):
+    """[(entry_address, span)] for every mid-span branch target with an
+    out-of-span predecessor, optionally bounded by tail length."""
+    in_span = {}
+    for span in spans:
+        for address in range(span[0], span[1]):
+            in_span[address] = span
+
+    targets = {}
+    for address, instr in program.branch_addresses():
+        if not isinstance(instr.target, int):
+            continue
+        targets.setdefault(instr.target, []).append(address)
+    for table in program.jump_tables:
+        for entry in table.entries:
+            targets.setdefault(entry, []).append(None)  # dynamic source
+
+    entrances = []
+    for target, sources in targets.items():
+        span = in_span.get(target)
+        if span is None or target == span[0]:
+            continue
+        outside = [source for source in sources
+                   if source is None or not span[0] <= source < span[1]]
+        if not outside:
+            continue
+        if max_tail is not None and span[1] - target > max_tail:
+            continue
+        entrances.append((target, span))
+    entrances.sort()
+    return entrances
+
+
+def form_superblocks(program, spans, max_tail=32, max_growth=1.5):
+    """Tail-duplicate the side entrances of the given trace spans.
+
+    Args:
+        program: laid-out program (resolved; likely bits set).
+        spans: [(start, end)] contiguous trace spans in the program —
+            :attr:`LayoutResult.trace_spans`.
+        max_tail: skip entrances whose suffix exceeds this many
+            instructions (duplication cost cap per entrance).
+        max_growth: stop duplicating when the program has grown past
+            this factor.
+
+    Returns (new_program, :class:`SuperblockReport`).
+    """
+    report = SuperblockReport()
+    report.original_size = len(program.instructions)
+    if any(instr.n_slots for instr in program.instructions):
+        raise ValueError(
+            "form superblocks before forward-slot filling, not after")
+
+    new_program = program.copy()
+    instructions = new_program.instructions
+    growth_limit = int(report.original_size * max_growth)
+
+    entrances = _side_entrances(new_program, spans, max_tail=max_tail)
+    redirect = {}   # entry address -> duplicate start
+
+    for entry, span in entrances:
+        suffix_length = span[1] - entry
+        if len(instructions) + suffix_length + 1 > growth_limit:
+            break
+        duplicate_start = len(instructions)
+        for offset in range(suffix_length):
+            source = instructions[entry + offset]
+            duplicate = source.copy()
+            if (duplicate.is_branch and isinstance(duplicate.target, int)
+                    and entry <= duplicate.target < span[1]):
+                # Forward reference within the duplicated suffix.
+                duplicate.target = (duplicate_start
+                                    + (duplicate.target - entry))
+                if duplicate.orig_target is not None and \
+                        entry <= duplicate.orig_target < span[1]:
+                    duplicate.orig_target = (duplicate_start
+                                             + (duplicate.orig_target - entry))
+            instructions.append(duplicate)
+        last = instructions[-1]
+        if last.op not in _FALLS_THROUGH_END:
+            # The suffix can fall through past the span end (plain code
+            # or the not-taken side of a conditional): continue exactly
+            # where the original would.
+            instructions.append(Instruction(Opcode.JUMP, target=span[1]))
+        report.side_entrances += 1
+        report.duplicated_instructions += len(instructions) - duplicate_start
+        redirect[entry] = duplicate_start
+
+    # Retarget outside branches into the duplicates.  In-span branches
+    # (including the duplicated suffixes' own back references) keep the
+    # original target.
+    span_of = {}
+    for span in spans:
+        for address in range(span[0], span[1]):
+            span_of[address] = span
+    for address, instr in enumerate(instructions):
+        if not (instr.is_branch and isinstance(instr.target, int)):
+            continue
+        duplicate_start = redirect.get(instr.target)
+        if duplicate_start is None:
+            continue
+        span = span_of[instr.target]
+        if span[0] <= address < span[1]:
+            continue  # in-span flow keeps the original tail
+        instr.target = duplicate_start
+        if instr.orig_target is not None:
+            instr.orig_target = duplicate_start
+    for table in new_program.jump_tables:
+        table.entries = [redirect.get(entry, entry)
+                         for entry in table.entries]
+
+    report.final_size = len(instructions)
+    new_program.validate()
+    return new_program, report
+
+
+def reassign_likely_bits(program, profile):
+    """Set every conditional branch's likely bit from a fresh profile.
+
+    Used after superblock formation: duplicated branch sites get their
+    own, context-specialised predictions.  Branches the profile never
+    saw keep their inherited bit.
+    """
+    new_program = program.copy()
+    changed = 0
+    for address, instr in enumerate(new_program.instructions):
+        if not instr.is_conditional:
+            continue
+        fraction = profile.taken_fraction(address)
+        if fraction is None:
+            continue
+        bit = fraction > 0.5
+        if bit != instr.likely:
+            changed += 1
+        instr.likely = bit
+    return new_program, changed

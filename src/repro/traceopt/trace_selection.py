@@ -1,0 +1,154 @@
+"""Trace selection: the Hwu-Chang growth algorithm.
+
+A *trace* is a sequence of basic blocks that tend to execute in
+sequence.  Selection repeatedly seeds a new trace at the heaviest
+not-yet-placed block and grows it forward and backward along the most
+likely edges.  Growth across an edge B -> S requires:
+
+* S (resp. the predecessor P) is not yet in any trace,
+* the edge is B's most likely outgoing edge and its probability is at
+  least ``min_probability``,
+* the edge is also S's most likely incoming edge (mutual-most-likely),
+
+which is the classic trace-growing rule from the paper's reference
+[Hwu & Chang, MICRO-21 1988].  Returns traces in selection order with
+every block of the program in exactly one trace.
+"""
+
+
+class Trace:
+    """An ordered list of block leaders plus its profile weight."""
+
+    __slots__ = ("blocks", "weight")
+
+    def __init__(self, blocks, weight):
+        self.blocks = blocks
+        self.weight = weight
+
+    def __len__(self):
+        return len(self.blocks)
+
+    def __iter__(self):
+        return iter(self.blocks)
+
+    def __repr__(self):
+        return "Trace(%r, weight=%d)" % (self.blocks, self.weight)
+
+
+def _edge_weights(cfg, profile):
+    """Outgoing edge weights per block: leader -> [(successor, count)].
+
+    Conditional terminators contribute a taken edge (profiled) and a
+    fall-through edge (executions minus taken); JUMP terminators and
+    plain fall-through blocks contribute a single edge carrying the
+    block's weight.
+    """
+    outgoing = {}
+    for block in cfg.blocks:
+        leader = block.start
+        terminator = cfg.program.instructions[block.end - 1]
+        edges = []
+        if block.taken_target is not None and block.fall_through is not None:
+            site = block.end - 1
+            execs = profile.branch_execs.get(site, 0)
+            taken = profile.branch_taken.get(site, 0)
+            edges.append((block.taken_target, taken))
+            edges.append((block.fall_through, execs - taken))
+        elif block.taken_target is not None:
+            edges.append((block.taken_target, profile.block_weight(leader)))
+        elif block.fall_through is not None:
+            edges.append((block.fall_through, profile.block_weight(leader)))
+        outgoing[leader] = edges
+        del terminator
+    return outgoing
+
+
+def select_traces(cfg, profile, min_probability=0.0):
+    """Partition the CFG's blocks into traces.
+
+    Args:
+        cfg: :class:`~repro.cfg.ControlFlowGraph` of the program.
+        profile: :class:`~repro.profiling.Profile` with block weights
+            and branch statistics.
+        min_probability: minimum edge probability required to grow a
+            trace across an edge (0 grows along any strict majority).
+
+    Returns:
+        list of :class:`Trace`; the union of their blocks is exactly
+        the set of CFG leaders, each appearing once.
+    """
+    outgoing = _edge_weights(cfg, profile)
+    incoming = {}
+    for source, edges in outgoing.items():
+        for target, count in edges:
+            incoming.setdefault(target, []).append((source, count))
+
+    placed = set()
+
+    def best_successor(leader):
+        edges = outgoing.get(leader, [])
+        if not edges:
+            return None
+        total = sum(count for _, count in edges)
+        if total == 0:
+            return None
+        target, count = max(edges, key=lambda edge: edge[1])
+        if len(edges) > 1 and count * 2 <= total:
+            return None  # no strict majority: do not grow
+        if count / total < min_probability:
+            return None
+        return target
+
+    def best_predecessor(leader):
+        edges = incoming.get(leader, [])
+        if not edges:
+            return None
+        source, count = max(edges, key=lambda edge: edge[1])
+        if count == 0:
+            return None
+        total = sum(weight for _, weight in edges)
+        if count / total < max(min_probability, 1e-12):
+            return None
+        return source
+
+    # Seeds in weight order; ties broken by address for determinism.
+    seeds = sorted(
+        (block.start for block in cfg.blocks),
+        key=lambda leader: (-profile.block_weight(leader), leader),
+    )
+
+    traces = []
+    for seed in seeds:
+        if seed in placed:
+            continue
+        blocks = [seed]
+        placed.add(seed)
+
+        # Grow forward.
+        current = seed
+        while True:
+            successor = best_successor(current)
+            if successor is None or successor in placed:
+                break
+            if best_predecessor(successor) != current:
+                break
+            blocks.append(successor)
+            placed.add(successor)
+            current = successor
+
+        # Grow backward.
+        current = seed
+        while True:
+            predecessor = best_predecessor(current)
+            if predecessor is None or predecessor in placed:
+                break
+            if best_successor(predecessor) != current:
+                break
+            blocks.insert(0, predecessor)
+            placed.add(predecessor)
+            current = predecessor
+
+        weight = sum(profile.block_weight(leader) for leader in blocks)
+        traces.append(Trace(blocks, weight))
+
+    return traces

@@ -1,0 +1,67 @@
+"""Tests for instruction-mix analysis."""
+
+from collections import Counter
+
+from repro.analysis import (
+    dynamic_opcode_mix,
+    mix_fractions,
+    static_opcode_mix,
+    summarize_mix,
+)
+from repro.isa.opcodes import Opcode
+from repro.lang import compile_source
+from repro.vm import Machine
+
+SOURCE = """
+int main() {
+    int i; int t = 0;
+    for (i = 0; i < 25; i = i + 1) t = t + i;
+    puti(t);
+    return 0;
+}
+"""
+
+
+def _run(source=SOURCE, inputs=()):
+    program = compile_source(source, "t")
+    result = Machine(program, inputs=inputs, trace=True,
+                     address_trace=True).run()
+    return program, result
+
+
+def test_static_mix_counts_text():
+    program, _ = _run()
+    mix = static_opcode_mix(program)
+    assert sum(mix.values()) == len(program)
+    assert mix[Opcode.HALT] == 1
+
+
+def test_dynamic_mix_matches_address_trace():
+    program, result = _run()
+    mix = dynamic_opcode_mix(program, result.trace)
+    reference = Counter(program.instructions[address].op
+                        for address in result.addresses)
+    assert mix == reference
+    assert sum(mix.values()) == result.instructions
+
+
+def test_dynamic_mix_dominated_by_loop_body():
+    program, result = _run()
+    mix = dynamic_opcode_mix(program, result.trace)
+    # The 25-iteration loop makes ADD the hottest ALU opcode.
+    assert mix[Opcode.ADD] >= 25
+    assert mix[Opcode.HALT] == 1
+
+
+def test_mix_fractions_normalised():
+    fractions = mix_fractions(Counter({Opcode.ADD: 3, Opcode.SUB: 1}))
+    assert abs(sum(fractions.values()) - 1.0) < 1e-12
+    assert fractions[Opcode.ADD] == 0.75
+    assert mix_fractions(Counter()) == {}
+
+
+def test_summarize_mix():
+    program, result = _run()
+    text = summarize_mix(dynamic_opcode_mix(program, result.trace), top=5)
+    assert "%" in text
+    assert len(text.splitlines()) == 5

@@ -1,0 +1,157 @@
+"""Tests for control-flow graph construction."""
+
+import pytest
+
+from repro.cfg import ControlFlowGraph, compute_leaders
+from repro.isa import assemble
+from repro.lang import compile_source
+
+
+def cfg_of(assembly):
+    return ControlFlowGraph.from_program(assemble(assembly))
+
+
+LOOP = """
+func main:
+    li r1, 0
+    li r2, 10
+loop:
+    add r1, r1, r2
+    blt r1, r2, loop
+    puti r1
+    halt
+"""
+
+
+def test_leaders_basic():
+    program = assemble(LOOP)
+    leaders = compute_leaders(program)
+    # Entry, loop target, after the conditional branch.
+    assert leaders == [0, 2, 4]
+
+
+def test_leaders_require_resolved():
+    from repro.isa import Program, Opcode
+    program = Program("t")
+    program.emit(Opcode.HALT)
+    with pytest.raises(ValueError):
+        compute_leaders(program)
+
+
+def test_blocks_partition():
+    cfg = cfg_of(LOOP)
+    cfg.validate()
+    assert [block.start for block in cfg.blocks] == [0, 2, 4]
+    assert [block.end for block in cfg.blocks] == [2, 4, 6]
+
+
+def test_conditional_successors():
+    cfg = cfg_of(LOOP)
+    loop_block = cfg.block_at(2)
+    assert loop_block.taken_target == 2
+    assert loop_block.fall_through == 4
+    assert loop_block.successors() == [2, 4]
+
+
+def test_halt_has_no_successors():
+    cfg = cfg_of(LOOP)
+    assert cfg.block_at(4).successors() == []
+
+
+def test_call_does_not_split_blocks():
+    cfg = cfg_of("""
+func main:
+    li r1, 1
+    call helper
+    puti r1
+    halt
+func helper:
+    ret
+""")
+    # main's body (li, call, puti, halt) is one block: CALL is not a
+    # block ender.
+    main_block = cfg.block_at(0)
+    assert main_block.end == 4
+
+
+def test_ret_ends_block_without_successors():
+    cfg = cfg_of("""
+func main:
+    call helper
+    halt
+func helper:
+    li r1, 1
+    ret
+""")
+    helper = cfg.block_at(2)
+    assert helper.successors() == []
+
+
+def test_jump_table_entries_are_leaders():
+    cfg = cfg_of("""
+.table t a b
+func main:
+    li r1, 0
+    table r2, t, r1
+    jind r2
+a:
+    halt
+b:
+    halt
+""")
+    leaders = [block.start for block in cfg.blocks]
+    program = cfg.program
+    assert program.labels["a"] in leaders
+    assert program.labels["b"] in leaders
+    jind_block = cfg.block_of(2)
+    assert jind_block.successors() == []
+
+
+def test_fall_through_block():
+    cfg = cfg_of("""
+func main:
+    li r1, 0
+    beq r1, r1, target
+    li r2, 1
+target:
+    halt
+""")
+    middle = cfg.block_at(2)  # the li r2 block, ends by fallthrough
+    assert middle.taken_target is None
+    assert middle.fall_through == 3
+
+
+def test_predecessors():
+    cfg = cfg_of(LOOP)
+    preds_of_loop = cfg.predecessors(2)
+    assert 0 in preds_of_loop  # entry falls through
+    assert 2 in preds_of_loop  # the back edge
+
+
+def test_block_of_binary_search():
+    cfg = cfg_of(LOOP)
+    assert cfg.block_of(0).start == 0
+    assert cfg.block_of(1).start == 0
+    assert cfg.block_of(3).start == 2
+    assert cfg.block_of(5).start == 4
+    with pytest.raises(KeyError):
+        cfg.block_of(99)
+
+
+def test_cfg_of_compiled_program_validates():
+    program = compile_source("""
+        int main() {
+            int i; int t = 0;
+            for (i = 0; i < 5; i = i + 1) {
+                if (i % 2) t = t + i;
+                else t = t - i;
+            }
+            switch (t) { case 1: return 1; default: return 0; }
+        }
+    """, "t")
+    cfg = ControlFlowGraph.from_program(program)
+    cfg.validate()
+    assert len(cfg) > 5
+    # Every address belongs to exactly one block.
+    covered = sum(len(block) for block in cfg.blocks)
+    assert covered == len(program)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_experiments():
+    parser = build_parser()
+    args = parser.parse_args(["table3", "--scale", "0.1"])
+    assert args.experiment == "table3"
+    assert args.scale == 0.1
+
+
+def test_parser_rejects_unknown():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["table9"])
+
+
+def test_main_renders_table(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    exit_code = main(["table1", "--scale", "0.05", "--runs", "1",
+                      "--benchmarks", "wc", "tee"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "wc" in out and "tee" in out
+
+
+def test_main_headline_no_cache(capsys):
+    exit_code = main(["headline", "--scale", "0.05", "--runs", "1",
+                      "--no-cache", "--benchmarks", "wc"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Headline" in out
+    assert "11-stage" in out
+
+
+def test_main_trace_dump(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    exit_code = main(["trace", "--scale", "0.05", "--runs", "1",
+                      "--benchmarks", "wc", "--limit", "5"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "branch trace of wc" in out
+    assert "conditional" in out
+    assert "more records" in out
+
+
+def test_main_report_to_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    output = tmp_path / "report.md"
+    exit_code = main(["report", "--scale", "0.05", "--runs", "1",
+                      "--benchmarks", "wc", "--output", str(output)])
+    assert exit_code == 0
+    text = output.read_text()
+    assert text.startswith("# Reproduction report")
+    for section in ("Table 3", "Headline", "Storage"):
+        assert section in text
+    assert "wrote" in capsys.readouterr().out

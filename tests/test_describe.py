@@ -1,0 +1,66 @@
+"""Tests for the FS artifact description helpers."""
+
+from repro.lang import compile_source
+from repro.profiling import profile_program
+from repro.traceopt import (
+    annotate_program,
+    build_fs_program,
+    describe_expansion,
+    describe_traces,
+    fill_forward_slots,
+)
+
+SOURCE = """
+int main() {
+    int i; int t = 0;
+    for (i = 0; i < 50; i = i + 1) {
+        if (i % 9 == 0) t = t + 10;
+        t = t + 1;
+    }
+    puti(t);
+    return 0;
+}
+"""
+
+
+def _layout():
+    program = compile_source(SOURCE, "t")
+    profile, _ = profile_program(program, [[]])
+    return build_fs_program(program, profile)
+
+
+def test_describe_traces_lists_all():
+    layout = _layout()
+    text = describe_traces(layout)
+    assert text.count("weight") == len(layout.traces)
+    assert "blocks" in text
+
+
+def test_describe_traces_limit():
+    layout = _layout()
+    text = describe_traces(layout, limit=1)
+    assert "more traces" in text
+
+
+def test_annotate_marks_likely_and_slots():
+    layout = _layout()
+    expanded, report = fill_forward_slots(layout.program, 2)
+    text = annotate_program(expanded)
+    assert "; likely, 2 slots" in text
+    # Every program address appears.
+    for address in range(len(expanded)):
+        assert "%5d: " % address in text
+
+
+def test_annotate_range():
+    layout = _layout()
+    text = annotate_program(layout.program, start=0, end=3)
+    assert text.count("\n") <= 5
+
+
+def test_describe_expansion_mentions_numbers():
+    layout = _layout()
+    _, report = fill_forward_slots(layout.program, 4)
+    text = describe_expansion(report)
+    assert str(report.likely_branches) in text
+    assert "%" in text

@@ -1,0 +1,77 @@
+"""The example scripts must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_examples_directory_contents():
+    names = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "fs_compilation.py", "design_space.py",
+            "context_switch_robustness.py", "beyond_the_paper.py",
+            "superblocks.py"} <= names
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "cycles/branch" in out
+    assert "Forward Semantic" in out
+    assert "SBTB" in out and "CBTB" in out
+
+
+def test_fs_compilation():
+    out = run_example("fs_compilation.py")
+    assert "selected traces" in out
+    assert "forward-slot expansion" in out
+    assert "OK" in out
+    assert "MISMATCH" not in out
+
+
+def test_design_space(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out = run_example("design_space.py", "--scale", "0.05",
+                      "--benchmarks", "wc", "tee")
+    assert "winner" in out
+    assert "FS margin" in out
+
+
+def test_context_switch_robustness(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out = run_example("context_switch_robustness.py",
+                      "--benchmark", "wc", "--scale", "0.05")
+    assert "FS accuracy is identical at every interval" in out
+
+
+def test_beyond_the_paper(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    out = run_example("beyond_the_paper.py", "--benchmark", "wc",
+                      "--scale", "0.05")
+    assert "gshare" in out
+    assert "storage budget" in out
+    assert "instruction-cache effect" in out
+
+
+def test_superblocks_example():
+    out = run_example("superblocks.py")
+    assert "tail duplication" in out
+    assert "FS accuracy on superblock code" in out
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "fs_compilation.py",
+                                  "beyond_the_paper.py", "superblocks.py"])
+def test_examples_are_documented(name):
+    text = (EXAMPLES / name).read_text()
+    assert text.startswith('"""'), "%s lacks a module docstring" % name
+    assert "Run with" in text

@@ -1,0 +1,67 @@
+"""End-to-end semantic preservation of the Forward Semantic compiler.
+
+For every benchmark: profile, lay out traces, fill forward slots, and
+execute the transformed program in both slot modes on profiled AND
+unseen inputs, comparing outputs byte for byte with the original.
+This is the strongest validation of the transformation passes.
+"""
+
+import pytest
+
+from repro.benchmarksuite import ALL_BENCHMARK_NAMES, compile_benchmark, get_benchmark
+from repro.profiling import profile_program
+from repro.traceopt import build_fs_program, fill_forward_slots
+from repro.vm import run_program
+
+TINY = 0.05
+BUDGET = 30_000_000
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARK_NAMES)
+def test_fs_transform_preserves_benchmark_semantics(name):
+    spec = get_benchmark(name)
+    program = compile_benchmark(name)
+
+    profile_suite = spec.input_suite(scale=TINY, runs=2)
+    profile, base_outputs = profile_program(program, profile_suite,
+                                            max_instructions=BUDGET)
+    layout = build_fs_program(program, profile)
+
+    # Unseen input: a later run the profiler never saw.
+    unseen = spec.inputs_for_run(spec.runs - 1, scale=TINY)
+    all_cases = list(zip(profile_suite, base_outputs)) + [
+        (unseen, run_program(program, inputs=unseen,
+                             max_instructions=BUDGET).output)]
+
+    for streams, expected in all_cases:
+        laid = run_program(layout.program, inputs=streams,
+                           max_instructions=BUDGET)
+        assert laid.output == expected, "%s: layout changed output" % name
+
+    for n_slots in (1, 3):
+        expanded, report = fill_forward_slots(layout.program, n_slots)
+        assert report.expanded_size >= report.original_size
+        for streams, expected in all_cases:
+            direct = run_program(expanded, inputs=streams,
+                                 slot_mode="direct",
+                                 max_instructions=BUDGET)
+            assert direct.output == expected, (
+                "%s: direct slot mode changed output" % name)
+            executed = run_program(expanded, inputs=streams,
+                                   slot_mode="execute",
+                                   max_instructions=BUDGET)
+            assert executed.output == expected, (
+                "%s: slot execution changed output" % name)
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARK_NAMES)
+def test_layout_does_not_grow_code(name):
+    """Layout may insert glue JUMPs but also deletes redundant ones;
+    it must stay within a few percent of the original size."""
+    program = compile_benchmark(name)
+    spec = get_benchmark(name)
+    profile, _ = profile_program(program,
+                                 spec.input_suite(scale=TINY, runs=1),
+                                 max_instructions=BUDGET)
+    layout = build_fs_program(program, profile)
+    assert len(layout.program) <= len(program) * 1.10

@@ -1,0 +1,70 @@
+"""Tests for the hardware storage-cost model."""
+
+import pytest
+
+from repro.pipeline import (
+    btb_storage,
+    cbtb_storage,
+    compare_storage,
+    forward_semantic_storage,
+    sbtb_storage,
+)
+from repro.traceopt.forward_slots import ExpansionReport
+
+
+def test_btb_storage_arithmetic():
+    cost = btb_storage(entries=1, k=0, counter_bits=0, address_bits=32,
+                       instruction_bits=32)
+    assert cost.on_chip_bits == 32 + 32 + 1
+    assert cost.instruction_memory_bits == 0
+
+
+def test_btb_storage_scales_linearly_in_k_and_entries():
+    small = btb_storage(entries=256, k=1)
+    double_k = btb_storage(entries=256, k=2)
+    assert double_k.on_chip_bits - small.on_chip_bits == 256 * 32
+    double_entries = btb_storage(entries=512, k=1)
+    assert double_entries.on_chip_bits == 2 * small.on_chip_bits
+
+
+def test_btb_storage_validation():
+    with pytest.raises(ValueError):
+        btb_storage(entries=0, k=1)
+    with pytest.raises(ValueError):
+        btb_storage(entries=4, k=-1)
+
+
+def test_cbtb_costs_more_than_sbtb():
+    sbtb = sbtb_storage(256, k=2)
+    cbtb = cbtb_storage(256, k=2, counter_bits=2)
+    assert cbtb.on_chip_bits == sbtb.on_chip_bits + 256 * 2
+
+
+def test_fs_storage_is_off_chip():
+    report = ExpansionReport(original_size=1000, expanded_size=1060,
+                             likely_branches=30, copied_instructions=55,
+                             padding_nops=5, n_slots=2)
+    cost = forward_semantic_storage(report)
+    assert cost.on_chip_bits == 0
+    assert cost.instruction_memory_bits == 60 * 32
+
+
+def test_compare_storage():
+    report = ExpansionReport(original_size=500, expanded_size=520,
+                             likely_branches=20, copied_instructions=20,
+                             padding_nops=0, n_slots=1)
+    costs = compare_storage(report, entries=256, k=1)
+    assert set(costs) == {"SBTB", "CBTB", "FS"}
+    # The paper's VLSI argument: the FS needs no on-chip area at all,
+    # and for realistic programs even its instruction-memory cost is
+    # below a 256-entry BTB's silicon.
+    assert costs["FS"].on_chip_bits == 0
+    assert costs["SBTB"].on_chip_bits > 0
+    assert costs["CBTB"].on_chip_bits > costs["SBTB"].on_chip_bits
+    assert costs["FS"].total_bits < costs["SBTB"].total_bits
+
+
+def test_total_bits():
+    report = ExpansionReport(100, 110, 10, 10, 0, 1)
+    cost = forward_semantic_storage(report)
+    assert cost.total_bits == cost.instruction_memory_bits

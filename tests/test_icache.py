@@ -1,0 +1,118 @@
+"""Tests for the instruction-cache simulator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.icache import CacheStats, InstructionCache, miss_ratio_of
+from repro.lang import compile_source
+from repro.vm import Machine
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        InstructionCache(total_words=0)
+    with pytest.raises(ValueError):
+        InstructionCache(total_words=100, line_words=7)
+
+
+def test_cold_miss_then_hits_within_line():
+    cache = InstructionCache(total_words=64, line_words=8, associativity=2)
+    assert not cache.access(0)   # cold miss
+    assert cache.access(1)       # same line
+    assert cache.access(7)
+    assert not cache.access(8)   # next line
+
+
+def test_run_equals_individual_accesses():
+    addresses = [0, 1, 2, 8, 9, 0, 16, 24, 0, 8]
+    one = InstructionCache(64, 8, 2)
+    for address in addresses:
+        one.access(address)
+    two = InstructionCache(64, 8, 2)
+    two.run(addresses)
+    assert one.stats.accesses == two.stats.accesses
+    assert one.stats.misses == two.stats.misses
+
+
+@given(st.lists(st.integers(min_value=0, max_value=511), max_size=300),
+       st.sampled_from([4, 8, 16]),
+       st.sampled_from([1, 2, 4]))
+def test_run_matches_access_property(addresses, line_words, ways):
+    one = InstructionCache(128, line_words, ways)
+    for address in addresses:
+        one.access(address)
+    two = InstructionCache(128, line_words, ways)
+    two.run(addresses)
+    assert (one.stats.accesses, one.stats.misses) == \
+        (two.stats.accesses, two.stats.misses)
+
+
+def test_capacity_misses():
+    # Working set of 4 lines in a 2-line cache: every access misses
+    # with LRU when striding round-robin.
+    cache = InstructionCache(total_words=16, line_words=8, associativity=2)
+    pattern = [0, 8, 16, 24] * 5
+    cache.run(pattern)
+    assert cache.stats.miss_ratio == 1.0
+
+
+def test_sequential_stream_miss_ratio_is_one_per_line():
+    stats = InstructionCache(1024, 8, 4).run(range(512))
+    assert stats.misses == 512 // 8
+    assert abs(stats.miss_ratio - 1 / 8) < 1e-12
+
+
+def test_loop_fits_in_cache():
+    loop = list(range(32)) * 50
+    ratio = miss_ratio_of(loop, total_words=64, line_words=8)
+    assert ratio < 0.01
+
+
+def test_reset():
+    cache = InstructionCache(64, 8, 2)
+    cache.run(range(64))
+    cache.reset()
+    assert cache.stats.accesses == 0
+    assert not cache.access(0)
+
+
+def test_stats_repr():
+    assert "CacheStats" in repr(CacheStats(10, 2))
+    assert CacheStats(0, 0).miss_ratio == 0.0
+
+
+def test_address_trace_from_machine():
+    program = compile_source("""
+        int main() {
+            int i; int t = 0;
+            for (i = 0; i < 5; i = i + 1) t = t + i;
+            puti(t);
+            return 0;
+        }
+    """, "t")
+    result = Machine(program, address_trace=True).run()
+    assert result.addresses is not None
+    assert len(result.addresses) == result.instructions
+    assert result.addresses[0] == program.entry
+    # Every traced address is a valid instruction address.
+    assert all(0 <= address < len(program) for address in result.addresses)
+
+
+def test_address_trace_off_by_default():
+    program = compile_source("int main() { return 0; }", "t")
+    assert Machine(program).run().addresses is None
+
+
+def test_address_trace_feeds_cache():
+    program = compile_source("""
+        int main() {
+            int i; int t = 0;
+            for (i = 0; i < 200; i = i + 1) t = t + i;
+            puti(t);
+            return 0;
+        }
+    """, "t")
+    result = Machine(program, address_trace=True).run()
+    # A tiny loop fits in any reasonable cache: near-zero miss ratio.
+    ratio = miss_ratio_of(result.addresses, total_words=256, line_words=8)
+    assert ratio < 0.05

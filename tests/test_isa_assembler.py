@@ -1,0 +1,204 @@
+"""Tests for the assembler / disassembler, including a round-trip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import AssemblyError, Opcode, assemble, disassemble
+from repro.vm import run_program
+
+LOOP_SOURCE = """
+.globals 4
+func main:
+    li r1, 0
+    li r2, 5
+loop:
+    add r1, r1, r2
+    li r3, 1
+    sub r2, r2, r3
+    bgt r2, r3, loop
+    puti r1
+    halt
+"""
+
+
+def test_assemble_basic():
+    program = assemble(LOOP_SOURCE)
+    assert program.resolved
+    assert program.globals_size == 4
+    assert "main" in program.functions
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble("; hello\n\nfunc main:\n    halt ; stop\n")
+    assert len(program) == 1
+
+
+def test_run_assembled_program():
+    result = run_program(assemble(LOOP_SOURCE))
+    # 5 + 4 + 3 + 2 = 14 (loop exits when r2 == 1)
+    assert result.output == b"14"
+
+
+def test_unknown_opcode():
+    with pytest.raises(AssemblyError):
+        assemble("func main:\n    frobnicate r1\n")
+
+
+def test_wrong_operand_count():
+    with pytest.raises(AssemblyError):
+        assemble("func main:\n    li r1\n")
+
+
+def test_bad_register():
+    with pytest.raises(AssemblyError):
+        assemble("func main:\n    li x1, 3\n")
+
+
+def test_unknown_target_label():
+    with pytest.raises(Exception):
+        assemble("func main:\n    jump nowhere\n")
+
+
+def test_jump_table_directive():
+    source = """
+.table dispatch a b
+func main:
+    li r1, 0
+    table r2, dispatch, r1
+    jind r2
+a:
+    li r3, 1
+    halt
+b:
+    halt
+"""
+    program = assemble(source)
+    assert len(program.jump_tables) == 1
+    assert program.jump_tables[0].entries == [
+        program.labels["a"], program.labels["b"]]
+    result = run_program(program)
+    assert result.instructions > 0
+
+
+def test_call_and_ret():
+    source = """
+func main:
+    li r1, 20
+    li r2, 22
+    arg 0, r1
+    arg 1, r2
+    call add2
+    result r3
+    puti r3
+    halt
+func add2:
+    li r2, 0
+    add r2, r0, r1
+    retv r2
+    ret
+"""
+    result = run_program(assemble(source))
+    assert result.output == b"42"
+
+
+def test_disassemble_roundtrip_semantics():
+    program = assemble(LOOP_SOURCE)
+    text = disassemble(program)
+    again = assemble(text)
+    assert len(again) == len(program)
+    for original, rebuilt in zip(program.instructions, again.instructions):
+        assert original.semantically_equal(rebuilt)
+    assert run_program(again).output == run_program(program).output
+
+
+_SIMPLE_OPS = ["add", "sub", "mul", "and", "or", "xor"]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(_SIMPLE_OPS),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.lists(st.integers(min_value=-100, max_value=100),
+             min_size=8, max_size=8),
+)
+def test_roundtrip_property_random_alu_programs(ops, seeds):
+    """Random straight-line ALU programs survive a disassemble/assemble
+    round trip with identical execution output."""
+    lines = ["func main:"]
+    for register, seed in enumerate(seeds):
+        lines.append("    li r%d, %d" % (register, seed))
+    for op, dest, a, b in ops:
+        lines.append("    %s r%d, r%d, r%d" % (op, dest, a, b))
+    for register in range(8):
+        lines.append("    puti r%d" % register)
+        lines.append("    li r%d, 10" % 8)
+        lines.append("    putc r8")
+    lines.append("    halt")
+    source = "\n".join(lines) + "\n"
+
+    program = assemble(source)
+    rebuilt = assemble(disassemble(program))
+    assert run_program(program).output == run_program(rebuilt).output
+
+
+def test_disassemble_emits_tables():
+    source = """
+.table t a a
+func main:
+    li r1, 1
+    table r2, t, r1
+    jind r2
+a:
+    halt
+"""
+    program = assemble(source)
+    rebuilt = assemble(disassemble(program))
+    assert rebuilt.jump_tables[0].entries == program.jump_tables[0].entries
+
+
+def test_init_directive():
+    source = """
+.globals 4
+.init 2 99
+.init 0 -5
+func main:
+    li r1, 0
+    load r2, r1, 2
+    puti r2
+    load r2, r1, 0
+    puti r2
+    halt
+"""
+    program = assemble(source)
+    assert program.data_init == {2: 99, 0: -5}
+    assert run_program(program).output == b"99-5"
+
+
+def test_init_directive_validation():
+    with pytest.raises(AssemblyError):
+        assemble(".init 1\nfunc main:\n    halt\n")
+    with pytest.raises(AssemblyError):
+        assemble(".init -1 5\nfunc main:\n    halt\n")
+
+
+def test_disassemble_preserves_init():
+    source = """
+.globals 2
+.init 1 7
+func main:
+    li r1, 0
+    load r2, r1, 1
+    puti r2
+    halt
+"""
+    program = assemble(source)
+    rebuilt = assemble(disassemble(program))
+    assert rebuilt.data_init == program.data_init
+    assert run_program(rebuilt).output == b"7"

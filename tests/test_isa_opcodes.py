@@ -1,0 +1,58 @@
+"""Tests for opcode classification and branch inversion."""
+
+import pytest
+
+from repro.isa import (
+    Opcode,
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    UNCONDITIONAL_BRANCHES,
+    KNOWN_TARGET_BRANCHES,
+    UNKNOWN_TARGET_BRANCHES,
+    ALU_OPCODES,
+    invert_branch,
+)
+
+
+def test_branch_sets_are_disjoint():
+    assert not CONDITIONAL_BRANCHES & UNCONDITIONAL_BRANCHES
+    assert not KNOWN_TARGET_BRANCHES & UNKNOWN_TARGET_BRANCHES
+
+
+def test_branch_sets_cover():
+    assert BRANCH_OPCODES == CONDITIONAL_BRANCHES | UNCONDITIONAL_BRANCHES
+    assert UNCONDITIONAL_BRANCHES == (
+        KNOWN_TARGET_BRANCHES | UNKNOWN_TARGET_BRANCHES
+    )
+
+
+def test_alu_and_branches_disjoint():
+    assert not ALU_OPCODES & BRANCH_OPCODES
+
+
+def test_conditional_membership():
+    assert Opcode.BEQ in CONDITIONAL_BRANCHES
+    assert Opcode.BGE in CONDITIONAL_BRANCHES
+    assert Opcode.JUMP not in CONDITIONAL_BRANCHES
+
+
+def test_unknown_targets():
+    assert Opcode.RET in UNKNOWN_TARGET_BRANCHES
+    assert Opcode.JIND in UNKNOWN_TARGET_BRANCHES
+    assert Opcode.CALL in KNOWN_TARGET_BRANCHES
+
+
+@pytest.mark.parametrize("op", sorted(CONDITIONAL_BRANCHES, key=lambda o: o.value))
+def test_invert_is_involution(op):
+    assert invert_branch(invert_branch(op)) is op
+
+
+def test_invert_pairs():
+    assert invert_branch(Opcode.BEQ) is Opcode.BNE
+    assert invert_branch(Opcode.BLT) is Opcode.BGE
+    assert invert_branch(Opcode.BLE) is Opcode.BGT
+
+
+def test_invert_rejects_unconditional():
+    with pytest.raises(KeyError):
+        invert_branch(Opcode.JUMP)

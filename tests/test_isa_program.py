@@ -1,0 +1,152 @@
+"""Tests for the Program container: labels, resolution, validation."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode, Program, ProgramError
+
+
+def _minimal_program():
+    program = Program("t")
+    program.mark_label("_func_main")
+    program.functions["main"] = "_func_main"
+    program.emit(Opcode.LI, dest=0, imm=1)
+    program.mark_label("loop")
+    program.emit(Opcode.SUB, dest=0, a=0, b=0)
+    program.emit(Opcode.BNE, a=0, b=0, target="loop")
+    program.emit(Opcode.HALT)
+    return program
+
+
+def test_resolve_rewrites_labels():
+    program = _minimal_program()
+    program.resolve()
+    assert program.instructions[2].target == 1
+    assert program.resolved
+
+
+def test_entry_is_main():
+    program = _minimal_program().resolve()
+    assert program.entry == 0
+
+
+def test_entry_prefers_start():
+    program = _minimal_program()
+    program.mark_label("_func___start")
+    program.functions["__start"] = "_func___start"
+    program.emit(Opcode.HALT)
+    program.resolve()
+    assert program.entry == 4
+
+
+def test_entry_requires_main():
+    program = Program("t")
+    program.emit(Opcode.HALT)
+    program.resolve()
+    with pytest.raises(ProgramError):
+        program.entry
+
+
+def test_unknown_label_raises():
+    program = Program("t")
+    program.emit(Opcode.JUMP, target="nowhere")
+    with pytest.raises(ProgramError):
+        program.resolve()
+
+
+def test_duplicate_label_raises():
+    program = Program("t")
+    program.mark_label("x")
+    with pytest.raises(ProgramError):
+        program.mark_label("x")
+
+
+def test_validate_checks_targets_in_range():
+    program = Program("t")
+    program.emit(Opcode.JUMP, target=99)
+    program.resolved = True
+    with pytest.raises(ProgramError):
+        program.validate()
+
+
+def test_validate_requires_branch_target():
+    program = Program("t")
+    program.emit(Opcode.BEQ, a=0, b=0)
+    with pytest.raises(ProgramError):
+        program.validate()
+
+
+def test_validate_checks_jump_table_ids():
+    program = Program("t")
+    program.emit(Opcode.TABLE, dest=0, imm=3, a=1)
+    with pytest.raises(ProgramError):
+        program.validate()
+
+
+def test_jump_table_resolution():
+    program = Program("t")
+    program.mark_label("a")
+    program.emit(Opcode.NOP)
+    program.mark_label("b")
+    program.emit(Opcode.HALT)
+    program.add_jump_table("tab", ["a", "b", "a"])
+    program.resolve()
+    assert program.jump_tables[0].entries == [0, 1, 0]
+
+
+def test_copy_is_deep():
+    program = _minimal_program().resolve()
+    duplicate = program.copy()
+    duplicate.instructions[0].imm = 42
+    assert program.instructions[0].imm == 1
+    duplicate.labels["extra"] = 0
+    assert "extra" not in program.labels
+
+
+def test_branch_addresses():
+    program = _minimal_program().resolve()
+    addresses = [address for address, _ in program.branch_addresses()]
+    assert addresses == [2]
+
+
+def test_function_of():
+    program = Program("t")
+    program.mark_label("_func_a")
+    program.functions["a"] = "_func_a"
+    program.emit(Opcode.NOP)
+    program.emit(Opcode.RET)
+    program.mark_label("_func_b")
+    program.functions["b"] = "_func_b"
+    program.emit(Opcode.HALT)
+    program.resolve()
+    assert program.function_of(0) == "a"
+    assert program.function_of(1) == "a"
+    assert program.function_of(2) == "b"
+
+
+def test_static_size():
+    program = _minimal_program()
+    assert program.static_size() == 4
+
+
+def test_instruction_copy_and_equality():
+    instr = Instruction(Opcode.ADD, dest=1, a=2, b=3)
+    duplicate = instr.copy()
+    assert duplicate == instr
+    duplicate.dest = 9
+    assert duplicate != instr
+
+
+def test_instruction_semantic_equality_ignores_fs_metadata():
+    a = Instruction(Opcode.BEQ, a=1, b=2, target=5)
+    b = Instruction(Opcode.BEQ, a=1, b=2, target=5, likely=True, n_slots=3)
+    assert a.semantically_equal(b)
+    assert a != b
+
+
+def test_instruction_classification():
+    assert Instruction(Opcode.BEQ, a=0, b=0, target=0).is_conditional
+    assert Instruction(Opcode.RET).is_unconditional
+    assert not Instruction(Opcode.RET).target_known
+    assert Instruction(Opcode.CALL, target=0).target_known
+    assert Instruction(Opcode.BNE, a=0, b=0, target=0).target_known
+    assert not Instruction(Opcode.ADD, dest=0, a=0, b=0).is_branch

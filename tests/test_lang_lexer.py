@@ -1,0 +1,115 @@
+"""Tests for the Minic tokenizer."""
+
+import pytest
+
+from repro.lang import tokenize, LexerError
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+def values(text):
+    return [token.value for token in tokenize(text)][:-1]
+
+
+def test_empty_source():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_keywords_vs_names():
+    tokens = tokenize("int foo while whiles")
+    assert tokens[0].kind == "keyword"
+    assert tokens[1].kind == "name"
+    assert tokens[2].kind == "keyword"
+    assert tokens[3].kind == "name"
+
+
+def test_integer_literals():
+    assert values("0 42 007 0x10 0xFF") == [0, 42, 7, 16, 255]
+
+
+def test_bad_hex():
+    with pytest.raises(LexerError):
+        tokenize("0x")
+
+
+def test_char_literals():
+    assert values("'a' '\\n' '\\t' '\\0' '\\\\' '\\''") == [
+        97, 10, 9, 0, 92, 39]
+
+
+def test_unterminated_char():
+    with pytest.raises(LexerError):
+        tokenize("'a")
+
+
+def test_bad_escape():
+    with pytest.raises(LexerError):
+        tokenize("'\\q'")
+
+
+def test_string_literal():
+    tokens = tokenize('"hi\\n"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].value == [104, 105, 10]
+
+
+def test_unterminated_string():
+    with pytest.raises(LexerError):
+        tokenize('"abc')
+
+
+def test_newline_in_string():
+    with pytest.raises(LexerError):
+        tokenize('"ab\ncd"')
+
+
+def test_two_char_operators_win():
+    assert kinds("<< <= < == = !=")[:-1] == ["<<", "<=", "<", "==", "=", "!="]
+
+
+def test_line_comments():
+    tokens = tokenize("1 // two three\n4")
+    assert [token.value for token in tokens[:-1]] == [1, 4]
+
+
+def test_block_comments_track_lines():
+    tokens = tokenize("/* a\nb\nc */ x")
+    assert tokens[0].kind == "name"
+    assert tokens[0].line == 3
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexerError):
+        tokenize("/* never ends")
+
+
+def test_line_numbers():
+    tokens = tokenize("a\nb\n  c")
+    assert [token.line for token in tokens[:-1]] == [1, 2, 3]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexerError):
+        tokenize("a @ b")
+
+
+def test_logical_operators():
+    assert kinds("a && b || !c")[:-1] == ["name", "&&", "name", "||", "!", "name"]
+
+
+def test_compound_assignment_tokens():
+    assert kinds("+= -= *= /= %= &= |= ^= <<= >>=")[:-1] == [
+        "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="]
+
+
+def test_increment_decrement_tokens():
+    assert kinds("++ -- + - +++")[:-1] == ["++", "--", "+", "-", "++", "+"]
+
+
+def test_triple_char_beats_double():
+    # <<= must win over << then =.
+    assert kinds("<<= << <= <")[:-1] == ["<<=", "<<", "<=", "<"]

@@ -1,0 +1,225 @@
+"""Tests for the Minic parser."""
+
+import pytest
+
+from repro.lang import parse, ParseError
+from repro.lang import ast
+
+
+def first_function(source):
+    unit = parse(source)
+    return unit.functions[0]
+
+
+def body_of(source):
+    return first_function(source).body.statements
+
+
+def test_empty_main():
+    unit = parse("int main() { }")
+    assert len(unit.functions) == 1
+    assert unit.functions[0].name == "main"
+    assert unit.functions[0].params == []
+
+
+def test_parameters():
+    function = first_function("int f(int a, int b, int c) { }")
+    assert function.params == ["a", "b", "c"]
+
+
+def test_global_forms():
+    unit = parse("""
+        int scalar;
+        int with_init = 3;
+        int negative = -4;
+        int arr[10];
+        int filled[4] = {1, 2, 3};
+        int inferred[] = {9, 8};
+        int text[] = "ab";
+        int main() { }
+    """)
+    declarations = {d.name: d for d in unit.globals}
+    assert declarations["scalar"].size is None
+    assert declarations["with_init"].init == 3
+    assert declarations["negative"].init == -4
+    assert declarations["arr"].size == 10
+    assert declarations["filled"].init == [1, 2, 3]
+    assert declarations["inferred"].size == -1
+    assert declarations["inferred"].init == [9, 8]
+    assert declarations["text"].init == [97, 98, 0]
+
+
+def test_string_initializer_on_scalar_rejected():
+    with pytest.raises(ParseError):
+        parse('int x = "oops"; int main() { }')
+
+
+def test_precedence():
+    statements = body_of("int main() { return 1 + 2 * 3; }")
+    expr = statements[0].value
+    assert isinstance(expr, ast.Binary)
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_left_associativity():
+    statements = body_of("int main() { return 10 - 3 - 2; }")
+    expr = statements[0].value
+    assert expr.op == "-"
+    assert expr.left.op == "-"
+
+
+def test_parenthesized():
+    statements = body_of("int main() { return (1 + 2) * 3; }")
+    expr = statements[0].value
+    assert expr.op == "*"
+    assert expr.left.op == "+"
+
+
+def test_unary_chain():
+    statements = body_of("int main() { return -!~1; }")
+    expr = statements[0].value
+    assert expr.op == "-"
+    assert expr.operand.op == "!"
+    assert expr.operand.operand.op == "~"
+
+
+def test_assignment_forms():
+    statements = body_of("int main() { int a; int b[2]; a = 1; b[a] = 2; }")
+    assert isinstance(statements[2], ast.Assign)
+    assert isinstance(statements[2].target, ast.Var)
+    assert isinstance(statements[3], ast.Assign)
+    assert isinstance(statements[3].target, ast.Index)
+
+
+def test_index_read_is_not_assignment():
+    statements = body_of("int main() { int b[2]; return b[0]; }")
+    assert isinstance(statements[1], ast.Return)
+    assert isinstance(statements[1].value, ast.Index)
+
+
+def test_if_else_binding():
+    statements = body_of(
+        "int main() { if (1) if (2) return 1; else return 2; }")
+    outer = statements[0]
+    assert outer.else_branch is None
+    assert outer.then_branch.else_branch is not None
+
+
+def test_while_and_do_while():
+    statements = body_of(
+        "int main() { while (1) break; do { } while (0); }")
+    assert isinstance(statements[0], ast.While)
+    assert isinstance(statements[1], ast.DoWhile)
+
+
+def test_for_full_and_empty():
+    statements = body_of("""
+        int main() {
+            int i;
+            for (i = 0; i < 3; i = i + 1) { }
+            for (;;) break;
+        }
+    """)
+    full = statements[1]
+    assert full.init is not None and full.cond is not None
+    assert full.step is not None
+    empty = statements[2]
+    assert empty.init is None and empty.cond is None and empty.step is None
+
+
+def test_switch_with_fallthrough_groups():
+    statements = body_of("""
+        int main() {
+            switch (3) {
+                case 1: case 2: break;
+                case 3: return 1;
+                default: return 0;
+            }
+        }
+    """)
+    switch = statements[0]
+    assert isinstance(switch, ast.Switch)
+    assert switch.cases[0].values == [1, 2]
+    assert switch.cases[1].values == [3]
+    assert switch.cases[2].is_default
+
+
+def test_switch_negative_case():
+    statements = body_of(
+        "int main() { switch (0) { case -1: break; } }")
+    assert statements[0].cases[0].values == [-1]
+
+
+def test_switch_duplicate_default_rejected():
+    with pytest.raises(ParseError):
+        parse("int main() { switch (0) { default: break; default: break; } }")
+
+
+def test_switch_statement_before_label_rejected():
+    with pytest.raises(ParseError):
+        parse("int main() { switch (0) { return 1; } }")
+
+
+def test_call_expressions():
+    statements = body_of("int main() { putc(65); return getc(0); }")
+    assert isinstance(statements[0].expr, ast.Call)
+    assert statements[0].expr.name == "putc"
+    assert statements[1].value.name == "getc"
+
+
+def test_missing_semicolon():
+    with pytest.raises(ParseError):
+        parse("int main() { return 1 }")
+
+
+def test_garbage_top_level():
+    with pytest.raises(ParseError):
+        parse("float main() { }")
+
+
+def test_local_decl_with_init():
+    statements = body_of("int main() { int x = 1 + 2; }")
+    declaration = statements[0]
+    assert isinstance(declaration, ast.LocalDecl)
+    assert declaration.init is not None
+
+
+def test_local_array_decl():
+    statements = body_of("int main() { int buf[16]; }")
+    assert statements[0].is_array
+    assert statements[0].size == 16
+
+
+def test_compound_assignment_desugars():
+    statements = body_of("int main() { int x; x = 1; x += 2; }")
+    compound = statements[2]
+    assert isinstance(compound, ast.Assign)
+    assert isinstance(compound.value, ast.Binary)
+    assert compound.value.op == "+"
+
+
+def test_increment_desugars_to_plus_one():
+    statements = body_of("int main() { int x; x = 0; x++; }")
+    increment = statements[2]
+    assert isinstance(increment, ast.Assign)
+    assert increment.value.op == "+"
+    assert isinstance(increment.value.right, ast.IntLit)
+    assert increment.value.right.value == 1
+
+
+def test_array_compound_assignment():
+    statements = body_of("int main() { int a[4]; a[2] *= 3; }")
+    assign = statements[1]
+    assert isinstance(assign.target, ast.Index)
+    assert assign.value.op == "*"
+
+
+def test_increment_not_an_expression():
+    with pytest.raises(ParseError):
+        parse("int main() { int x; return x++; }")
+
+
+def test_decrement_literal_rejected_like_c():
+    with pytest.raises(ParseError):
+        parse("int main() { return --1; }")

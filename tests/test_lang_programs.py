@@ -1,0 +1,281 @@
+"""Golden-program tests: tricky Minic constructs executed end to end.
+
+These exercise interactions the per-feature codegen tests do not:
+nested switches inside loops, recursion with accumulating globals,
+deeply nested expressions, short-circuit chains with side effects,
+loop-carried state machines.
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.vm import run_program
+
+
+def run(source, inputs=(), budget=5_000_000):
+    program = compile_source(source, "golden")
+    return run_program(program, inputs=inputs, max_instructions=budget)
+
+
+def test_collatz_lengths():
+    source = """
+    int steps(int n) {
+        int count = 0;
+        while (n != 1) {
+            if (n % 2 == 0) n = n / 2;
+            else n = 3 * n + 1;
+            count = count + 1;
+        }
+        return count;
+    }
+    int main() {
+        puti(steps(6)); putc(' ');
+        puti(steps(27));
+        return 0;
+    }
+    """
+    assert run(source).output == b"8 111"
+
+
+def test_sieve_of_eratosthenes():
+    source = """
+    int sieve[200];
+    int main() {
+        int i; int j; int count = 0;
+        for (i = 2; i < 200; i = i + 1) {
+            if (!sieve[i]) {
+                count = count + 1;
+                for (j = i + i; j < 200; j = j + i) sieve[j] = 1;
+            }
+        }
+        puti(count);
+        return 0;
+    }
+    """
+    assert run(source).output == b"46"  # primes below 200
+
+
+def test_recursive_ackermann_small():
+    source = """
+    int ack(int m, int n) {
+        if (m == 0) return n + 1;
+        if (n == 0) return ack(m - 1, 1);
+        return ack(m - 1, ack(m, n - 1));
+    }
+    int main() { puti(ack(2, 3)); return 0; }
+    """
+    assert run(source).output == b"9"
+
+
+def test_switch_inside_loop_state_machine():
+    source = """
+    int main() {
+        int state = 0; int c; int words = 0;
+        c = getc(0);
+        while (c != -1) {
+            switch (state) {
+                case 0:
+                    if (c != ' ') { state = 1; words = words + 1; }
+                    break;
+                case 1:
+                    if (c == ' ') state = 0;
+                    break;
+            }
+            c = getc(0);
+        }
+        puti(words);
+        return 0;
+    }
+    """
+    assert run(source, inputs=[b"one  two   three"]).output == b"3"
+
+
+def test_nested_switch():
+    source = """
+    int classify(int row, int col) {
+        switch (row) {
+            case 0:
+                switch (col) {
+                    case 0: return 1;
+                    default: return 2;
+                }
+            case 1: return 3;
+            default: return 4;
+        }
+    }
+    int main() {
+        puti(classify(0, 0));
+        puti(classify(0, 5));
+        puti(classify(1, 0));
+        puti(classify(9, 9));
+        return 0;
+    }
+    """
+    assert run(source).output == b"1234"
+
+
+def test_short_circuit_evaluation_order():
+    source = """
+    int log[8];
+    int n;
+    int probe(int id, int value) {
+        log[n] = id;
+        n = n + 1;
+        return value;
+    }
+    int main() {
+        int r;
+        r = probe(1, 0) && probe(2, 1);
+        r = probe(3, 1) || probe(4, 0);
+        r = probe(5, 1) && probe(6, 1);
+        puti(n); putc(':');
+        puti(log[0]); puti(log[1]); puti(log[2]); puti(log[3]);
+        return 0;
+    }
+    """
+    # Evaluated: 1 (short), 3 (short), 5, 6 -> n = 4.
+    assert run(source).output == b"4:1356"
+
+
+def test_deeply_nested_expression():
+    source = """
+    int main() {
+        return ((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 - 8)))
+                << ((1 + 1) & 3)) >> 2;
+    }
+    """
+    # ((3*7) - ((-1)*(-1))) << 2 >> 2 = 20
+    assert run(source).exit_value == 20
+
+
+def test_string_table_lookup():
+    source = """
+    int keywords[] = "if;for;int;while;";
+    int word[16];
+    int word_len;
+
+    int match_at(int start) {
+        int i = 0;
+        while (keywords[start + i] != ';' && keywords[start + i] != 0) {
+            if (i >= word_len) return 0;
+            if (keywords[start + i] != word[i]) return 0;
+            i = i + 1;
+        }
+        return i == word_len;
+    }
+    int find() {
+        int start = 0; int index = 0;
+        while (keywords[start] != 0) {
+            if (match_at(start)) return index;
+            while (keywords[start] != ';') start = start + 1;
+            start = start + 1;
+            index = index + 1;
+        }
+        return -1;
+    }
+    int main() {
+        int c;
+        c = getc(0);
+        while (c != -1 && c != '\n') {
+            word[word_len] = c;
+            word_len = word_len + 1;
+            c = getc(0);
+        }
+        puti(find());
+        return 0;
+    }
+    """
+    assert run(source, inputs=[b"int\n"]).output == b"2"
+    assert run(source, inputs=[b"while\n"]).output == b"3"
+    assert run(source, inputs=[b"nope\n"]).output == b"-1"
+
+
+def test_gcd_and_modular_exponentiation():
+    source = """
+    int gcd(int a, int b) {
+        while (b != 0) {
+            int t = b;
+            b = a % b;
+            a = t;
+        }
+        return a;
+    }
+    int powmod(int base, int exp, int mod) {
+        int result = 1;
+        base = base % mod;
+        while (exp > 0) {
+            if (exp & 1) result = (result * base) % mod;
+            base = (base * base) % mod;
+            exp = exp >> 1;
+        }
+        return result;
+    }
+    int main() {
+        puti(gcd(252, 105)); putc(' ');
+        puti(powmod(7, 128, 1000));
+        return 0;
+    }
+    """
+    assert run(source).output == b"21 %d" % pow(7, 128, 1000)
+
+
+def test_bubble_sort_then_binary_search():
+    source = """
+    int data[32];
+    int n = 16;
+    int main() {
+        int i; int j; int t; int target; int lo; int hi; int mid;
+        for (i = 0; i < n; i = i + 1) data[i] = (i * 37 + 11) % 100;
+        for (i = 0; i < n; i = i + 1)
+            for (j = 0; j + 1 < n - i; j = j + 1)
+                if (data[j] > data[j + 1]) {
+                    t = data[j]; data[j] = data[j + 1]; data[j + 1] = t;
+                }
+        for (i = 1; i < n; i = i + 1)
+            if (data[i - 1] > data[i]) { puti(-1); return 1; }
+        target = data[5];
+        lo = 0; hi = n - 1;
+        while (lo < hi) {
+            mid = (lo + hi) / 2;
+            if (data[mid] < target) lo = mid + 1;
+            else hi = mid;
+        }
+        puti(lo);
+        return 0;
+    }
+    """
+    assert run(source).output == b"5"
+
+
+def test_global_state_machine_with_do_while():
+    source = """
+    int total;
+    int main() {
+        int rounds = 0;
+        do {
+            total = total * 2 + 1;
+            rounds = rounds + 1;
+        } while (total < 100);
+        puti(total); putc(' '); puti(rounds);
+        return 0;
+    }
+    """
+    assert run(source).output == b"127 7"
+
+
+@pytest.mark.parametrize("value,expected", [(0, 0), (255, 8), (170, 4)])
+def test_popcount(value, expected):
+    source = """
+    int main() {
+        int x = getc(0);
+        int bits = 0;
+        while (x != 0) {
+            bits = bits + (x & 1);
+            x = x >> 1;
+        }
+        puti(bits);
+        return 0;
+    }
+    """
+    assert run(source, inputs=[bytes([value])]).output == (
+        str(expected).encode())

@@ -1,0 +1,198 @@
+"""Tests for semantic analysis: layout, checking, constant folding."""
+
+import pytest
+
+from repro.lang import parse, analyze, SemanticError
+from repro.lang import ast
+from repro.lang.semantics import fold_expr
+
+
+def analyze_source(source):
+    unit = parse(source)
+    return unit, analyze(unit)
+
+
+def test_global_layout_offsets():
+    _, info = analyze_source("""
+        int a;
+        int arr[10];
+        int b = 7;
+        int main() { }
+    """)
+    assert info.globals["a"].offset == 0
+    assert info.globals["arr"].offset == 1
+    assert info.globals["arr"].size == 10
+    assert info.globals["b"].offset == 11
+    assert info.globals["b"].init == 7
+    assert info.globals_size == 12
+
+
+def test_local_arrays_get_static_storage():
+    _, info = analyze_source("""
+        int g;
+        int main() { int buf[8]; buf[0] = 1; }
+    """)
+    symbol = info.functions["main"].local_arrays["buf"]
+    assert symbol.size == 8
+    assert symbol.offset == 1
+    assert info.globals_size == 9
+
+
+def test_inferred_array_size():
+    _, info = analyze_source('int msg[] = "abc"; int main() { }')
+    assert info.globals["msg"].size == 4  # three chars + NUL
+
+
+def test_initializer_too_long():
+    with pytest.raises(SemanticError):
+        analyze_source("int a[2] = {1,2,3}; int main() { }")
+
+
+def test_missing_main():
+    with pytest.raises(SemanticError):
+        analyze_source("int f() { }")
+
+
+def test_main_with_params_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int main(int x) { }")
+
+
+def test_duplicate_global():
+    with pytest.raises(SemanticError):
+        analyze_source("int a; int a; int main() { }")
+
+
+def test_duplicate_function():
+    with pytest.raises(SemanticError):
+        analyze_source("int f() { } int f() { } int main() { }")
+
+
+def test_function_shadowing_builtin_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source("int putc(int c) { } int main() { }")
+
+
+def test_undeclared_variable():
+    with pytest.raises(SemanticError):
+        analyze_source("int main() { return nothere; }")
+
+
+def test_undeclared_assignment():
+    with pytest.raises(SemanticError):
+        analyze_source("int main() { ghost = 1; }")
+
+
+def test_array_used_as_scalar():
+    with pytest.raises(SemanticError):
+        analyze_source("int a[4]; int main() { return a; }")
+
+
+def test_scalar_indexed():
+    with pytest.raises(SemanticError):
+        analyze_source("int a; int main() { return a[0]; }")
+
+
+def test_duplicate_local():
+    with pytest.raises(SemanticError):
+        analyze_source("int main() { int x; int x; }")
+
+
+def test_break_outside_loop():
+    with pytest.raises(SemanticError):
+        analyze_source("int main() { break; }")
+
+
+def test_continue_outside_loop():
+    with pytest.raises(SemanticError):
+        analyze_source("int main() { continue; }")
+
+
+def test_continue_inside_switch_only_rejected():
+    with pytest.raises(SemanticError):
+        analyze_source(
+            "int main() { switch (1) { case 1: continue; } }")
+
+
+def test_break_inside_switch_ok():
+    analyze_source("int main() { switch (1) { case 1: break; } }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(int a) { return a; } int main() { return f(); }")
+
+
+def test_call_undefined_function():
+    with pytest.raises(SemanticError):
+        analyze_source("int main() { return mystery(); }")
+
+
+def test_getc_requires_constant_stream():
+    with pytest.raises(SemanticError):
+        analyze_source("int main() { int s = 0; return getc(s); }")
+
+
+def test_getc_constant_folded_stream_ok():
+    analyze_source("int main() { return getc(1 - 1); }")
+
+
+def test_duplicate_case_value():
+    with pytest.raises(SemanticError):
+        analyze_source(
+            "int main() { switch (1) { case 1: break; case 1: break; } }")
+
+
+def test_duplicate_parameter():
+    with pytest.raises(SemanticError):
+        analyze_source("int f(int a, int a) { return a; } int main() { }")
+
+
+# --- constant folding ----------------------------------------------------
+
+
+def fold(text):
+    unit = parse("int main() { return %s; }" % text)
+    expr = unit.functions[0].body.statements[0].value
+    return fold_expr(expr)
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("1 + 2 * 3", 7),
+    ("10 / 3", 3),
+    ("-10 / 3", -3),     # C truncation toward zero
+    ("-10 % 3", -1),     # sign follows dividend
+    ("1 << 4", 16),
+    ("255 >> 4", 15),
+    ("5 & 3", 1),
+    ("5 | 2", 7),
+    ("5 ^ 1", 4),
+    ("3 < 4", 1),
+    ("4 <= 3", 0),
+    ("2 == 2", 1),
+    ("2 != 2", 0),
+    ("!0", 1),
+    ("!7", 0),
+    ("~0", -1),
+    ("-(3)", -3),
+    ("1 && 0", 0),
+    ("1 || 0", 1),
+])
+def test_fold_values(text, expected):
+    folded = fold(text)
+    assert isinstance(folded, ast.IntLit)
+    assert folded.value == expected
+
+
+def test_division_by_zero_left_unfolded():
+    folded = fold("1 / 0")
+    assert isinstance(folded, ast.Binary)
+
+
+def test_fold_leaves_variables():
+    unit = parse("int main() { int x; return x + (2 * 3); }")
+    analyze(unit)
+    expr = unit.functions[0].body.statements[1].value
+    assert isinstance(expr, ast.Binary)
+    assert isinstance(expr.right, ast.IntLit)
+    assert expr.right.value == 6

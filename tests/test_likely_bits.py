@@ -1,0 +1,71 @@
+"""Tests for the static likely-bit policies."""
+
+from repro.lang import compile_source
+from repro.predictors import ForwardSemanticPredictor, simulate
+from repro.profiling import profile_program
+from repro.traceopt import (
+    build_fs_program,
+    heuristic_likely_bits,
+    uniform_likely_bits,
+)
+from repro.vm import run_program
+
+LOOPY = """
+int main() {
+    int i; int t = 0;
+    for (i = 0; i < 200; i = i + 1) {
+        if (i % 50 == 0) t = t + 100;
+        t = t + 1;
+    }
+    puti(t);
+    return 0;
+}
+"""
+
+
+def test_heuristic_marks_backward_branches():
+    program = compile_source(LOOPY, "t")
+    marked, set_bits = heuristic_likely_bits(program)
+    assert set_bits >= 1
+    for address, instr in marked.branch_addresses():
+        if instr.is_conditional:
+            assert instr.likely == (instr.target <= address)
+
+
+def test_heuristic_does_not_mutate_input():
+    program = compile_source(LOOPY, "t")
+    original_bits = [instr.likely for instr in program.instructions]
+    heuristic_likely_bits(program)
+    assert [instr.likely for instr in program.instructions] == original_bits
+
+
+def test_uniform_bits():
+    program = compile_source(LOOPY, "t")
+    all_taken, count = uniform_likely_bits(program, True)
+    none_taken, count2 = uniform_likely_bits(program, False)
+    assert count == count2 > 0
+    assert all(instr.likely for instr in all_taken.instructions
+               if instr.is_conditional)
+    assert not any(instr.likely for instr in none_taken.instructions
+                   if instr.is_conditional)
+
+
+def test_profile_bits_beat_heuristic_bits():
+    """The point of the profiling compiler: measured on the same trace,
+    profile-assigned likely bits out-predict the static heuristic."""
+    program = compile_source(LOOPY, "t")
+    profile, _ = profile_program(program, [[]])
+    layout = build_fs_program(program, profile)
+    trace = run_program(layout.program, trace=True).trace
+
+    profiled = simulate(
+        ForwardSemanticPredictor(program=layout.program), trace)
+    heuristic_program, _ = heuristic_likely_bits(layout.program)
+    heuristic = simulate(
+        ForwardSemanticPredictor(program=heuristic_program), trace)
+    taken_program, _ = uniform_likely_bits(layout.program, True)
+    all_taken = simulate(
+        ForwardSemanticPredictor(program=taken_program), trace)
+
+    assert profiled.accuracy >= heuristic.accuracy
+    assert profiled.accuracy > all_taken.accuracy

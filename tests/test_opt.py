@@ -1,0 +1,335 @@
+"""Tests for the IR optimizer: each pass alone, the driver, and
+semantics preservation over the whole benchmark suite."""
+
+import pytest
+
+from repro.benchmarksuite import ALL_BENCHMARK_NAMES, compile_benchmark, get_benchmark
+from repro.isa import Opcode, assemble
+from repro.lang import compile_source
+from repro.opt import (
+    optimize,
+    peephole,
+    propagate_block_constants,
+    remove_dead_code,
+    thread_jumps,
+)
+from repro.vm import run_program
+
+
+# --- jump threading ---------------------------------------------------------
+
+
+def test_thread_jumps_basic():
+    program = assemble("""
+func main:
+    li r1, 0
+    beq r1, r1, hop
+    halt
+hop:
+    jump landing
+landing:
+    li r2, 7
+    puti r2
+    halt
+""")
+    threaded, changed = thread_jumps(program)
+    assert changed == 1
+    branch = threaded.instructions[1]
+    assert branch.target == program.labels["landing"]
+    assert run_program(threaded).output == run_program(program).output
+
+
+def test_thread_jumps_follows_chains():
+    program = assemble("""
+func main:
+    jump a
+a:
+    jump b
+b:
+    jump c
+c:
+    halt
+""")
+    threaded, changed = thread_jumps(program)
+    assert changed >= 2
+    assert threaded.instructions[0].target == program.labels["c"]
+
+
+def test_thread_jumps_leaves_cycles():
+    program = assemble("""
+func main:
+    li r1, 0
+    bne r1, r1, spin
+    halt
+spin:
+    jump spin
+""")
+    threaded, changed = thread_jumps(program)
+    assert changed == 0
+    assert run_program(threaded).output == b""
+
+
+# --- dead code ---------------------------------------------------------------
+
+
+def test_remove_dead_code_drops_unreachable():
+    program = assemble("""
+func main:
+    li r1, 5
+    puti r1
+    halt
+    li r2, 9
+    puti r2
+func never:
+    li r3, 1
+    ret
+""")
+    cleaned, removed = remove_dead_code(program)
+    assert removed == 4  # li r2 / puti r2 / li r3 / ret
+    assert "never" not in cleaned.functions
+    assert run_program(cleaned).output == b"5"
+
+
+def test_remove_dead_code_keeps_jump_table_targets():
+    program = assemble("""
+.table t a b
+func main:
+    li r1, 1
+    table r2, t, r1
+    jind r2
+a:
+    li r3, 10
+    puti r3
+    halt
+b:
+    li r3, 20
+    puti r3
+    halt
+""")
+    cleaned, removed = remove_dead_code(program)
+    assert removed == 0
+    assert run_program(cleaned).output == b"20"
+
+
+def test_remove_dead_code_keeps_called_functions():
+    program = assemble("""
+func main:
+    call helper
+    result r1
+    puti r1
+    halt
+func helper:
+    li r1, 3
+    retv r1
+    ret
+""")
+    cleaned, removed = remove_dead_code(program)
+    assert removed == 0
+    assert "helper" in cleaned.functions
+
+
+# --- peephole ------------------------------------------------------------------
+
+
+def test_peephole_removes_self_moves():
+    program = assemble("""
+func main:
+    li r1, 4
+    mov r1, r1
+    puti r1
+    halt
+""")
+    cleaned, removed = peephole(program)
+    assert removed == 1
+    assert len(cleaned) == 3
+    assert run_program(cleaned).output == b"4"
+
+
+def test_peephole_removes_jump_to_next():
+    program = assemble("""
+func main:
+    li r1, 4
+    jump next
+next:
+    puti r1
+    halt
+""")
+    cleaned, removed = peephole(program)
+    assert removed == 1
+    assert all(instr.op is not Opcode.JUMP for instr in cleaned)
+    assert run_program(cleaned).output == b"4"
+
+
+def test_peephole_retargets_branches_into_deleted():
+    program = assemble("""
+func main:
+    li r1, 0
+    beq r1, r1, hop
+    halt
+hop:
+    jump after
+after:
+    li r2, 2
+    puti r2
+    halt
+""")
+    cleaned, removed = peephole(program)
+    assert removed == 1
+    assert run_program(cleaned).output == b"2"
+
+
+# --- block constants --------------------------------------------------------------
+
+
+def test_constants_fold_alu():
+    program = assemble("""
+func main:
+    li r1, 6
+    li r2, 7
+    mul r3, r1, r2
+    puti r3
+    halt
+""")
+    folded_program, folded = propagate_block_constants(program)
+    assert folded == 1
+    assert folded_program.instructions[2].op is Opcode.LI
+    assert folded_program.instructions[2].imm == 42
+    assert run_program(folded_program).output == b"42"
+
+
+def test_constants_fold_mov_and_chain():
+    program = assemble("""
+func main:
+    li r1, 10
+    mov r2, r1
+    add r3, r2, r1
+    puti r3
+    halt
+""")
+    folded_program, folded = propagate_block_constants(program)
+    assert folded == 2
+    assert run_program(folded_program).output == b"20"
+
+
+def test_constants_reset_at_block_boundaries():
+    program = assemble("""
+func main:
+    li r1, 1
+    getc r2, 0
+    beq r2, r1, skip
+    li r1, 2
+skip:
+    add r3, r1, r1
+    puti r3
+    halt
+""")
+    folded_program, folded = propagate_block_constants(program)
+    # The add after the join must NOT fold (r1 is 1 or 2 dynamically).
+    add = folded_program.instructions[4]
+    assert add.op is Opcode.ADD
+    assert run_program(folded_program, inputs=[bytes([1])]).output == b"2"
+    assert run_program(folded_program, inputs=[bytes([9])]).output == b"4"
+
+
+def test_constants_division_by_zero_left_alone():
+    program = assemble("""
+func main:
+    li r1, 1
+    li r2, 0
+    div r3, r1, r2
+    halt
+""")
+    folded_program, folded = propagate_block_constants(program)
+    assert folded_program.instructions[2].op is Opcode.DIV
+    with pytest.raises(Exception):
+        run_program(folded_program)
+
+
+def test_constants_invalidated_by_unknown_writes():
+    program = assemble("""
+func main:
+    li r1, 5
+    getc r1, 0
+    neg r2, r1
+    puti r2
+    halt
+""")
+    folded_program, folded = propagate_block_constants(program)
+    assert folded == 0
+    assert run_program(folded_program, inputs=[bytes([3])]).output == b"-3"
+
+
+# --- driver ----------------------------------------------------------------------
+
+
+def test_optimize_reaches_fixed_point():
+    program = assemble("""
+func main:
+    li r1, 2
+    li r2, 3
+    add r3, r1, r2
+    mov r3, r3
+    beq r3, r3, hop
+    li r9, 0
+    puti r9
+hop:
+    jump out
+out:
+    puti r3
+    halt
+func orphan:
+    li r4, 0
+    ret
+""")
+    optimized, report = optimize(program)
+    assert report.final_size < report.original_size
+    assert report.jumps_threaded >= 1
+    assert report.dead_removed >= 2
+    assert report.peephole_removed >= 1
+    assert report.constants_folded >= 1
+    assert run_program(optimized).output == run_program(program).output
+    # Idempotent: a second run changes nothing.
+    again, second_report = optimize(optimized)
+    assert len(again) == len(optimized)
+    assert second_report.final_size == second_report.original_size
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARK_NAMES)
+def test_optimizer_preserves_benchmark_semantics(name):
+    spec = get_benchmark(name)
+    program = compile_benchmark(name)
+    optimized, report = optimize(program)
+    assert report.final_size <= report.original_size
+    for streams in spec.input_suite(scale=0.05, runs=2):
+        base = run_program(program, inputs=streams,
+                           max_instructions=30_000_000)
+        opt = run_program(optimized, inputs=streams,
+                          max_instructions=30_000_000)
+        assert opt.output == base.output, name
+        assert opt.instructions <= base.instructions, (
+            "%s: optimizer made the program slower" % name)
+
+
+def test_optimizer_composes_with_fs_pipeline():
+    """Optimized code still goes through profile -> layout -> slots."""
+    from repro.profiling import profile_program
+    from repro.traceopt import build_fs_program, fill_forward_slots
+
+    source = """
+    int main() {
+        int i; int t = 0;
+        for (i = 0; i < 100; i = i + 1) {
+            t = t + (2 * 3);
+            if (i == 50) t = t - 1;
+        }
+        puti(t);
+        return 0;
+    }
+    """
+    program = compile_source(source, "t")
+    optimized, _ = optimize(program)
+    profile, outputs = profile_program(optimized, [[]])
+    layout = build_fs_program(optimized, profile)
+    expanded, _ = fill_forward_slots(layout.program, 3)
+    assert run_program(expanded, slot_mode="execute").output == outputs[0]
+    assert run_program(expanded, slot_mode="direct").output == outputs[0]

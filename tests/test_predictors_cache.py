@@ -1,0 +1,172 @@
+"""Tests for the associative LRU tag store, including hypothesis
+properties against a reference model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.predictors import AssociativeCache
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        AssociativeCache(0)
+    with pytest.raises(ValueError):
+        AssociativeCache(8, associativity=0)
+    with pytest.raises(ValueError):
+        AssociativeCache(8, associativity=3)  # must divide evenly
+
+
+def test_basic_hit_miss():
+    cache = AssociativeCache(4)
+    assert cache.lookup(1) is None
+    cache.insert(1, "a")
+    assert cache.lookup(1) == "a"
+    assert len(cache) == 1
+
+
+def test_none_values_rejected():
+    cache = AssociativeCache(4)
+    with pytest.raises(ValueError):
+        cache.insert(1, None)
+
+
+def test_update_existing_key():
+    cache = AssociativeCache(2)
+    cache.insert(1, "a")
+    cache.insert(1, "b")
+    assert cache.lookup(1) == "b"
+    assert len(cache) == 1
+
+
+def test_lru_eviction_order():
+    cache = AssociativeCache(2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    cache.lookup(1)            # 1 becomes most recent
+    evicted = cache.insert(3, "c")
+    assert evicted == (2, "b")
+    assert cache.lookup(2) is None
+    assert cache.lookup(1) == "a"
+
+
+def test_delete():
+    cache = AssociativeCache(2)
+    cache.insert(1, "a")
+    assert cache.delete(1)
+    assert not cache.delete(1)
+    assert cache.lookup(1) is None
+
+
+def test_clear():
+    cache = AssociativeCache(4)
+    for key in range(4):
+        cache.insert(key, key)
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_contains_does_not_touch_lru():
+    cache = AssociativeCache(2)
+    cache.insert(1, "a")
+    cache.insert(2, "b")
+    assert cache.contains(1)       # must NOT refresh key 1
+    evicted = cache.insert(3, "c")
+    assert evicted == (1, "a")
+
+
+def test_set_associative_indexing():
+    cache = AssociativeCache(4, associativity=1)  # direct mapped, 4 sets
+    cache.insert(0, "a")
+    cache.insert(4, "b")   # same set as 0 -> evicts
+    assert cache.lookup(0) is None
+    assert cache.lookup(4) == "b"
+    cache.insert(1, "c")   # different set
+    assert cache.lookup(4) == "b"
+
+
+def test_capacity_never_exceeded():
+    cache = AssociativeCache(8, associativity=2)
+    for key in range(100):
+        cache.insert(key, key)
+    assert len(cache) <= 8
+    for bucket in cache._sets:
+        assert len(bucket) <= 2
+
+
+def test_items_iterates_all():
+    cache = AssociativeCache(8)
+    for key in range(5):
+        cache.insert(key, key * 10)
+    assert sorted(cache.items()) == [(key, key * 10) for key in range(5)]
+
+
+# --- hypothesis: behave exactly like a reference LRU model -----------------
+
+
+class _ReferenceLRU:
+    """Fully-associative reference: a plain list in LRU order."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.order = []   # least recent first
+        self.store = {}
+
+    def lookup(self, key):
+        if key not in self.store:
+            return None
+        self.order.remove(key)
+        self.order.append(key)
+        return self.store[key]
+
+    def insert(self, key, value):
+        if key in self.store:
+            self.store[key] = value
+            self.order.remove(key)
+            self.order.append(key)
+            return
+        if len(self.order) >= self.capacity:
+            victim = self.order.pop(0)
+            del self.store[victim]
+        self.store[key] = value
+        self.order.append(key)
+
+    def delete(self, key):
+        if key in self.store:
+            del self.store[key]
+            self.order.remove(key)
+
+
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["lookup", "insert", "delete"]),
+              st.integers(min_value=0, max_value=12)),
+    max_size=200,
+)
+
+
+@given(_OPS, st.sampled_from([1, 2, 4, 8]))
+def test_matches_reference_model(operations, capacity):
+    cache = AssociativeCache(capacity)
+    reference = _ReferenceLRU(capacity)
+    for operation, key in operations:
+        if operation == "lookup":
+            assert cache.lookup(key) == reference.lookup(key)
+        elif operation == "insert":
+            cache.insert(key, key * 7)
+            reference.insert(key, key * 7)
+        else:
+            cache.delete(key)
+            reference.delete(key)
+        assert len(cache) == len(reference.store)
+    for key, value in reference.store.items():
+        assert cache.contains(key)
+
+
+@given(_OPS)
+def test_set_associative_never_crosses_sets(operations):
+    cache = AssociativeCache(4, associativity=2)
+    for operation, key in operations:
+        if operation == "insert":
+            cache.insert(key, key)
+    for set_index, bucket in enumerate(cache._sets):
+        for key in bucket:
+            assert key % cache.n_sets == set_index

@@ -1,0 +1,130 @@
+"""Tests for superblock formation (tail duplication)."""
+
+import pytest
+
+from repro.benchmarksuite import compile_benchmark, get_benchmark
+from repro.lang import compile_source
+from repro.profiling import profile_program
+from repro.traceopt import (
+    build_fs_program,
+    fill_forward_slots,
+    form_superblocks,
+    reassign_likely_bits,
+)
+from repro.vm import run_program
+
+# A shape with a genuine side entrance: the `if` join point inside the
+# loop is entered both from the fall-through and from the then-arm.
+SIDE_ENTRANCE = """
+int main() {
+    int i; int t = 0;
+    for (i = 0; i < 300; i = i + 1) {
+        if (i % 7 == 0) t = t + 100;
+        t = t + 1;          // join block: two predecessors
+        if (t > 5000) t = t - 5000;
+    }
+    puti(t);
+    return 0;
+}
+"""
+
+
+def laid_out(source, inputs=((),)):
+    program = compile_source(source, "t")
+    profile, outputs = profile_program(program, list(inputs))
+    layout = build_fs_program(program, profile)
+    return layout, outputs
+
+
+def test_duplicates_side_entrances():
+    layout, _ = laid_out(SIDE_ENTRANCE)
+    superblock, report = form_superblocks(layout.program,
+                                          layout.trace_spans)
+    assert report.side_entrances >= 1
+    assert report.final_size > report.original_size
+    assert report.duplicated_instructions > 0
+
+
+def test_preserves_semantics():
+    layout, outputs = laid_out(SIDE_ENTRANCE)
+    superblock, _ = form_superblocks(layout.program, layout.trace_spans)
+    assert run_program(superblock).output == outputs[0]
+
+
+def test_no_entrances_is_identity_sized():
+    source = """
+    int main() {
+        int i; int t = 0;
+        for (i = 0; i < 10; i = i + 1) t = t + i;
+        puti(t);
+        return 0;
+    }
+    """
+    layout, outputs = laid_out(source)
+    superblock, report = form_superblocks(layout.program,
+                                          layout.trace_spans)
+    assert run_program(superblock).output == outputs[0]
+    # A straight loop may still have the loop-exit join; growth is
+    # bounded either way.
+    assert report.final_size <= report.original_size * 1.5
+
+
+def test_growth_cap():
+    layout, outputs = laid_out(SIDE_ENTRANCE)
+    tight, report = form_superblocks(layout.program, layout.trace_spans,
+                                     max_growth=1.01)
+    assert report.final_size <= int(report.original_size * 1.01) + 1
+    assert run_program(tight).output == outputs[0]
+
+
+def test_rejects_slotted_programs():
+    layout, _ = laid_out(SIDE_ENTRANCE)
+    expanded, _ = fill_forward_slots(layout.program, 2)
+    with pytest.raises(ValueError):
+        form_superblocks(expanded, layout.trace_spans)
+
+
+def test_composes_with_forward_slots():
+    layout, outputs = laid_out(SIDE_ENTRANCE)
+    superblock, _ = form_superblocks(layout.program, layout.trace_spans)
+    expanded, _ = fill_forward_slots(superblock, 3)
+    assert run_program(expanded, slot_mode="direct").output == outputs[0]
+    assert run_program(expanded, slot_mode="execute").output == outputs[0]
+
+
+def test_reassign_likely_bits():
+    layout, _ = laid_out(SIDE_ENTRANCE)
+    superblock, _ = form_superblocks(layout.program, layout.trace_spans)
+    profile, outputs = profile_program(superblock, [[]])
+    specialised, changed = reassign_likely_bits(superblock, profile)
+    assert run_program(specialised).output == outputs[0]
+    # Bits must agree with the dynamic majority of the new profile.
+    for address, instr in specialised.branch_addresses():
+        if not instr.is_conditional:
+            continue
+        fraction = profile.taken_fraction(address)
+        if fraction is None:
+            continue
+        assert instr.likely == (fraction > 0.5), address
+
+
+@pytest.mark.parametrize("name", ("wc", "grep", "make", "yacc"))
+def test_superblocks_preserve_benchmark_semantics(name):
+    spec = get_benchmark(name)
+    program = compile_benchmark(name)
+    suite = spec.input_suite(scale=0.05, runs=2)
+    profile, outputs = profile_program(program, suite,
+                                       max_instructions=30_000_000)
+    layout = build_fs_program(program, profile)
+    superblock, report = form_superblocks(layout.program,
+                                          layout.trace_spans)
+    for streams, expected in zip(suite, outputs):
+        result = run_program(superblock, inputs=streams,
+                             max_instructions=30_000_000)
+        assert result.output == expected, name
+    # And an unseen input.
+    unseen = spec.inputs_for_run(spec.runs - 1, scale=0.05)
+    assert (run_program(superblock, inputs=unseen,
+                        max_instructions=30_000_000).output
+            == run_program(program, inputs=unseen,
+                           max_instructions=30_000_000).output)

@@ -1,0 +1,102 @@
+"""Tests for the Hwu-Chang trace selection algorithm."""
+
+from repro.cfg import ControlFlowGraph
+from repro.lang import compile_source
+from repro.profiling import profile_program
+from repro.traceopt import select_traces
+
+LOOPY = """
+int main() {
+    int i; int t = 0;
+    for (i = 0; i < 40; i = i + 1) {
+        if (i % 8 == 0) t = t + 100;   // unlikely path
+        else t = t + 1;                // likely path
+    }
+    puti(t);
+    return 0;
+}
+"""
+
+
+def traces_for(source, inputs=((),)):
+    program = compile_source(source, "t")
+    cfg = ControlFlowGraph.from_program(program)
+    profile, _ = profile_program(program, list(inputs))
+    return cfg, profile, select_traces(cfg, profile)
+
+
+def test_partition_invariant():
+    cfg, _, traces = traces_for(LOOPY)
+    seen = [leader for trace in traces for leader in trace.blocks]
+    assert sorted(seen) == sorted(block.start for block in cfg.blocks)
+    assert len(seen) == len(set(seen))
+
+
+def test_traces_follow_edges():
+    cfg, _, traces = traces_for(LOOPY)
+    for trace in traces:
+        for previous, current in zip(trace.blocks, trace.blocks[1:]):
+            assert current in cfg.block_at(previous).successors(), (
+                "trace %r breaks at %d -> %d" % (trace, previous, current))
+
+
+def test_heaviest_block_seeds_heaviest_trace():
+    _, profile, traces = traces_for(LOOPY)
+    heaviest_block = max(profile.block_counts,
+                         key=lambda leader: profile.block_counts[leader])
+    heaviest_trace = max(traces, key=lambda trace: trace.weight)
+    assert heaviest_block in heaviest_trace.blocks
+
+
+def test_likely_path_grouped_with_loop():
+    """The else-arm (39 of 40 iterations) must share a trace with the
+    loop machinery; the unlikely then-arm must not."""
+    cfg, profile, traces = traces_for(LOOPY)
+    by_block = {}
+    for index, trace in enumerate(traces):
+        for leader in trace.blocks:
+            by_block[leader] = index
+    weights = profile.block_counts
+    # Find the two conditional arms by weight: ~35 vs ~5 executions.
+    arms = sorted(
+        (leader for leader in weights
+         if 0 < weights[leader] < 40 and weights[leader] not in (1,)),
+        key=lambda leader: weights[leader])
+    if len(arms) >= 2:
+        unlikely, likely = arms[0], arms[-1]
+        assert by_block[likely] != by_block[unlikely] or \
+            weights[likely] == weights[unlikely]
+
+
+def test_zero_weight_blocks_become_singletons():
+    source = """
+    int main() {
+        int c = getc(0);
+        if (c == 123456) { puti(1); puti(2); puti(3); }
+        return 0;
+    }
+    """
+    cfg, profile, traces = traces_for(source, inputs=[[b"x"]])
+    for trace in traces:
+        if trace.weight == 0:
+            assert len(trace.blocks) == 1
+
+
+def test_min_probability_limits_growth():
+    program = compile_source(LOOPY, "t")
+    cfg = ControlFlowGraph.from_program(program)
+    profile, _ = profile_program(program, [[]])
+    loose = select_traces(cfg, profile, min_probability=0.0)
+    strict = select_traces(cfg, profile, min_probability=1.1)
+    # An impossible threshold forces singleton traces (note that a
+    # certain edge has probability exactly 1.0, so any threshold <= 1
+    # can still grow).
+    assert all(len(trace.blocks) == 1 for trace in strict)
+    assert len(strict) >= len(loose)
+
+
+def test_deterministic():
+    _, _, first = traces_for(LOOPY)
+    _, _, second = traces_for(LOOPY)
+    assert [trace.blocks for trace in first] == \
+        [trace.blocks for trace in second]

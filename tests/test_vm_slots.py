@@ -1,0 +1,168 @@
+"""Machine-level tests of forward-slot execution semantics.
+
+These construct slotted programs by hand (setting ``n_slots``,
+``target``, and ``orig_target`` directly) to pin down the VM contract:
+
+* taken likely branch, execute mode: fall into the slots with an
+  alternate-PC countdown, redirect to the adjusted target after the
+  slots;
+* not-taken: skip the whole slot region;
+* a taken control transfer inside the slots cancels the countdown;
+* a not-taken absorbed conditional inside the slots leaves it running;
+* direct mode: jump straight to the original target.
+"""
+
+from repro.isa import Instruction, Opcode, Program
+from repro.vm import run_program
+
+
+def build(instructions, globals_size=0):
+    program = Program("hand")
+    program.globals_size = globals_size
+    program.mark_label("_func_main")
+    program.functions["main"] = "_func_main"
+    program.instructions = instructions
+    program.resolved = True
+    program.validate()
+    return program
+
+
+def I(op, **kwargs):  # noqa: E743 - terse helper for tables below
+    return Instruction(op, **kwargs)
+
+
+def test_taken_slotted_branch_executes_slots_then_redirects():
+    # 0: li r0, 0
+    # 1: beq r0, r0, target(adjusted=6) with 2 slots, orig_target=4
+    # 2:   puti 11   (slot copy of address 4)
+    # 3:   puti 22   (slot copy of address 5)
+    # 4: puti 11     (original target path)
+    # 5: puti 22
+    # 6: puti 33     (adjusted landing)
+    # 7: halt
+    def puti_const(value, scratch):
+        return [I(Opcode.LI, dest=scratch, imm=value),
+                I(Opcode.PUTI, a=scratch)]
+
+    instructions = [
+        I(Opcode.LI, dest=0, imm=0),
+        I(Opcode.BEQ, a=0, b=0, target=8, likely=True, n_slots=4,
+          orig_target=4),
+    ]
+    instructions += puti_const(11, 1) + puti_const(22, 1)      # slots 2..5
+    instructions += puti_const(11, 1) + puti_const(22, 1)      # originals 6..9
+    # Adjusted target must equal original + consumed: orig=6, consumed=4 -> 10.
+    instructions[1].orig_target = 6
+    instructions[1].target = 10
+    instructions += puti_const(33, 1)                          # 10..11
+    instructions.append(I(Opcode.HALT))
+    program = build(instructions)
+
+    executed = run_program(program, slot_mode="execute")
+    direct = run_program(program, slot_mode="direct")
+    assert executed.output == b"112233"
+    assert direct.output == b"112233"
+    # Execute mode runs the slot copies; direct mode runs the originals:
+    # same output, same count here (copy length == skipped prefix).
+    assert executed.instructions == direct.instructions
+
+
+def test_not_taken_slotted_branch_skips_slots():
+    instructions = [
+        I(Opcode.LI, dest=0, imm=0),
+        I(Opcode.LI, dest=1, imm=1),
+        I(Opcode.BEQ, a=0, b=1, target=7, likely=True, n_slots=2,
+          orig_target=7),
+        I(Opcode.NOP),   # slot
+        I(Opcode.NOP),   # slot
+        I(Opcode.LI, dest=2, imm=5),   # fall-through path
+        I(Opcode.PUTI, a=2),
+        I(Opcode.HALT),  # address 7 (taken target)
+    ]
+    program = build(instructions)
+    for mode in ("direct", "execute"):
+        result = run_program(program, slot_mode=mode)
+        assert result.output == b"5", mode
+
+
+def test_taken_branch_in_slots_cancels_countdown():
+    # The slots contain a copy of an absorbed unconditional jump; when
+    # it fires, the alternate PC must be discarded.
+    instructions = [
+        I(Opcode.LI, dest=0, imm=0),
+        # 1: likely branch, 2 slots; orig target 4; adjusted would be 6
+        I(Opcode.BEQ, a=0, b=0, target=6, likely=True, n_slots=2,
+          orig_target=4),
+        I(Opcode.JUMP, target=7),    # slot: absorbed copy of address 4
+        I(Opcode.NOP),               # slot padding
+        I(Opcode.JUMP, target=7),    # original target path
+        I(Opcode.NOP),
+        I(Opcode.HALT),              # adjusted landing: must NOT run
+        I(Opcode.LI, dest=1, imm=9), # 7: the jump's destination
+        I(Opcode.PUTI, a=1),
+        I(Opcode.HALT),
+    ]
+    program = build(instructions)
+    assert run_program(program, slot_mode="execute").output == b"9"
+    assert run_program(program, slot_mode="direct").output == b"9"
+
+
+def test_not_taken_conditional_in_slots_keeps_countdown():
+    # An absorbed unlikely conditional that does NOT fire: the
+    # countdown continues and the adjusted redirect happens.
+    instructions = [
+        I(Opcode.LI, dest=0, imm=0),
+        I(Opcode.LI, dest=1, imm=1),
+        # 2: likely branch, 2 slots, orig target 5, adjusted 5+2=7
+        I(Opcode.BEQ, a=0, b=0, target=7, likely=True, n_slots=2,
+          orig_target=5),
+        I(Opcode.BEQ, a=0, b=1, target=9),  # slot: absorbed, not taken
+        I(Opcode.NOP),                      # slot: copy of address 6
+        I(Opcode.BEQ, a=0, b=1, target=9),  # 5: original path
+        I(Opcode.NOP),
+        I(Opcode.LI, dest=2, imm=4),        # 7: adjusted landing
+        I(Opcode.PUTI, a=2),
+        I(Opcode.HALT),                     # 9
+    ]
+    program = build(instructions)
+    executed = run_program(program, slot_mode="execute")
+    assert executed.output == b"4"
+    assert run_program(program, slot_mode="direct").output == b"4"
+
+
+def test_slot_padding_nops_execute_before_redirect():
+    # Copy cut short (1 real copy + 1 NOP); adjusted target is
+    # orig + 1.
+    instructions = [
+        I(Opcode.LI, dest=0, imm=0),
+        # 1: 2 slots, orig 4, adjusted 5 (one instruction consumed)
+        I(Opcode.BEQ, a=0, b=0, target=5, likely=True, n_slots=2,
+          orig_target=4),
+        I(Opcode.LI, dest=1, imm=8),   # slot: copy of address 4
+        I(Opcode.NOP),                 # slot: padding
+        I(Opcode.LI, dest=1, imm=8),   # 4: original
+        I(Opcode.PUTI, a=1),           # 5: adjusted landing
+        I(Opcode.HALT),
+    ]
+    program = build(instructions)
+    executed = run_program(program, slot_mode="execute")
+    assert executed.output == b"8"
+    # Execute mode runs branch + copy + NOP + landing pair;
+    # direct mode runs branch + original + landing pair.
+    direct = run_program(program, slot_mode="direct")
+    assert direct.output == b"8"
+    assert executed.instructions == direct.instructions + 1  # the NOP
+
+
+def test_unlikely_branch_without_slots_unaffected():
+    instructions = [
+        I(Opcode.LI, dest=0, imm=0),
+        I(Opcode.LI, dest=1, imm=1),
+        I(Opcode.BEQ, a=0, b=1, target=5),
+        I(Opcode.LI, dest=2, imm=3),
+        I(Opcode.PUTI, a=2),
+        I(Opcode.HALT),
+    ]
+    program = build(instructions)
+    for mode in ("direct", "execute"):
+        assert run_program(program, slot_mode=mode).output == b"3"
