@@ -1,0 +1,127 @@
+"""The register-effect model of the instruction set.
+
+Every dataflow analysis needs to know, per instruction, which
+registers are read and which register (at most one in this ISA) is
+written.  The tables here mirror the interpreter loop in
+:mod:`repro.vm.machine` exactly — `tests/test_dataflow.py` cross-checks
+them against the opcode documentation.
+
+Register frames are *private per activation*: ``CALL`` gives the
+callee a fresh frame seeded with the staged ``ARG`` values
+(``r0..rK``), and ``RET`` restores the caller's frame untouched.  Two
+consequences for analysis:
+
+* a ``CALL`` neither reads nor writes any caller register — argument
+  and result traffic is explicit (``ARG`` reads, ``RESULT`` writes);
+* dataflow is naturally intraprocedural: no edge of the flow graph
+  crosses a function boundary (see :mod:`repro.analysis.dataflow`).
+"""
+
+from repro.isa.opcodes import (
+    ALU_OPCODES,
+    CONDITIONAL_BRANCHES,
+    Opcode,
+)
+
+# Opcodes whose only architectural effect is writing ``dest`` — no
+# memory, I/O, or control side effects, and no possible runtime fault.
+# A write by one of these whose destination is dead may be deleted.
+# LOAD, DIV, REM, TABLE, and GETC are excluded: the first four can
+# fault (bad address, zero divisor, bad table index) and GETC consumes
+# an input byte.
+PURE_WRITE_OPCODES = frozenset({
+    Opcode.LI, Opcode.MOV,
+    Opcode.ADD, Opcode.SUB, Opcode.MUL,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+    Opcode.NEG, Opcode.NOT,
+    Opcode.RESULT,
+})
+
+_READS_A = frozenset(
+    {Opcode.MOV, Opcode.LOAD, Opcode.NEG, Opcode.NOT, Opcode.JIND,
+     Opcode.ARG, Opcode.RETV, Opcode.TABLE, Opcode.PUTC, Opcode.PUTI}
+    | (ALU_OPCODES - {Opcode.NEG, Opcode.NOT})
+    | CONDITIONAL_BRANCHES
+)
+
+_READS_B = frozenset(
+    (ALU_OPCODES - {Opcode.NEG, Opcode.NOT}) | CONDITIONAL_BRANCHES
+)
+
+_WRITES_DEST = frozenset({
+    Opcode.LI, Opcode.MOV, Opcode.LOAD,
+    Opcode.RESULT, Opcode.TABLE, Opcode.GETC,
+} | ALU_OPCODES)
+
+
+def registers_read(instr):
+    """Registers the instruction reads, as a tuple (possibly empty).
+
+    ``STORE`` reads both its value (``a``) and its base (``b``);
+    everything else reads ``a`` and/or ``b`` per the opcode tables.
+    """
+    op = instr.op
+    if op is Opcode.STORE:
+        reads = (instr.a, instr.b)
+    else:
+        reads = ()
+        if op in _READS_A:
+            reads = (instr.a,)
+        if op in _READS_B:
+            reads = reads + (instr.b,)
+    # Malformed instructions may miss an operand; the verifier reports
+    # those separately, the analyses just skip the hole.
+    return tuple(register for register in reads if register is not None)
+
+
+def register_written(instr):
+    """The register the instruction writes, or None."""
+    if instr.op in _WRITES_DEST:
+        return instr.dest
+    return None
+
+
+def is_pure_write(instr):
+    """True when the instruction's only effect is writing ``dest``."""
+    return instr.op in PURE_WRITE_OPCODES
+
+
+def function_entry_addresses(program):
+    """Map of function entry address -> function name.
+
+    Requires a resolved program.
+    """
+    return {
+        program.labels[label]: name
+        for name, label in program.functions.items()
+    }
+
+
+def function_argument_counts(program):
+    """Upper bound on the argument registers each function receives.
+
+    The machine seeds a callee's frame with ``r0..rK`` where K is the
+    highest ``ARG`` index staged before the ``CALL``.  This scans the
+    text linearly, tracking staged indices since the previous ``CALL``
+    (the code generator emits the ``ARG`` sequence immediately before
+    its call), and records per function the *maximum* over its call
+    sites — an over-approximation that never flags a legitimate
+    parameter read as use-before-def.
+
+    Returns {entry address: argument count}; functions without static
+    call sites (the program entry) get 0.
+    """
+    entries = function_entry_addresses(program)
+    counts = dict.fromkeys(entries, 0)
+    staged_max = -1
+    for instr in program.instructions:
+        op = instr.op
+        if op is Opcode.ARG:
+            if instr.imm is not None and instr.imm > staged_max:
+                staged_max = instr.imm
+        elif op is Opcode.CALL:
+            target = instr.target
+            if target in counts:
+                counts[target] = max(counts[target], staged_max + 1)
+            staged_max = -1
+    return counts

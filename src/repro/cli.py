@@ -4,6 +4,8 @@ Examples::
 
     repro-branches table3
     repro-branches all --scale 0.2
+    repro-branches lint --benchmarks wc grep
+    repro-branches lint --file program.asm
     python -m repro table5 --no-cache
 """
 
@@ -47,10 +49,14 @@ def build_parser():
         description="Reproduce Hwu/Conte/Chang (ISCA 1989): software vs "
                     "hardware branch cost reduction.")
     parser.add_argument("experiment",
-                        choices=sorted(_EXPERIMENTS) + ["all", "trace"],
+                        choices=sorted(_EXPERIMENTS) + ["all", "trace",
+                                                        "lint"],
                         help="which table/figure to regenerate; 'report' "
                              "renders everything as markdown; 'trace' "
-                             "dumps a benchmark's branch trace")
+                             "dumps a benchmark's branch trace; 'lint' "
+                             "runs the IR verifier over benchmark programs "
+                             "(or an assembled --file) and exits non-zero "
+                             "on errors")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="input size multiplier (default 1.0)")
     parser.add_argument("--runs", type=int, default=None,
@@ -66,6 +72,18 @@ def build_parser():
     parser.add_argument("--workers", type=int, default=1,
                         help="parallel workers for trace collection "
                              "(needs the cache enabled)")
+    parser.add_argument("--verify", dest="verify", action="store_true",
+                        default=True,
+                        help="run the IR verifier after every compiler "
+                             "pass (the default)")
+    parser.add_argument("--no-verify", dest="verify", action="store_false",
+                        help="skip IR verification in the compilation "
+                             "pipeline")
+    parser.add_argument("--file", default=None,
+                        help="for 'lint': verify this assembly file "
+                             "instead of the benchmark suite")
+    parser.add_argument("--no-warnings", action="store_true",
+                        help="for 'lint': report only errors")
     return parser
 
 
@@ -90,10 +108,86 @@ def _dump_trace(runner, names, limit):
     return "\n".join(lines) + "\n"
 
 
+def _lint(names, file_path, show_warnings=True):
+    """Verify benchmark programs (or one assembly file).
+
+    Each program is checked twice: as compiled, and again after the
+    optimizer pipeline (with the pipeline's own verification off, so a
+    broken pass shows up here as diagnostics rather than an exception).
+    Returns (report text, exit code).  Exit codes: 0 clean, 1
+    diagnosed errors, 2 bad input (missing file, assembly syntax
+    error, unknown benchmark).
+    """
+    from repro.analysis.verify import verify_program
+    from repro.isa.assembler import AssemblyError
+    from repro.opt import optimize
+
+    targets = []
+    if file_path:
+        from pathlib import Path
+
+        from repro.isa.assembler import assemble
+
+        path = Path(file_path)
+        try:
+            targets.append((path.name, assemble(path.read_text(),
+                                                name=path.stem)))
+        except (OSError, AssemblyError) as error:
+            return "lint: cannot load %s: %s\n" % (file_path, error), 2
+    else:
+        from repro.benchmarksuite import ALL_BENCHMARK_NAMES, get_benchmark
+        from repro.lang import compile_source
+
+        for name in names or ALL_BENCHMARK_NAMES:
+            try:
+                spec = get_benchmark(name)
+            except KeyError as error:
+                return "lint: %s\n" % error.args[0], 2
+            targets.append((name, compile_source(spec.source, name=name)))
+
+    lines = []
+    error_count = 0
+    for label, program in targets:
+        stages = [("compiled", program)]
+        try:
+            optimized, _ = optimize(program, verify=False)
+            stages.append(("optimized", optimized))
+        except Exception as error:  # optimizer crash: report, keep linting
+            lines.append("%s: optimizer failed: %s" % (label, error))
+            error_count += 1
+        for stage, candidate in stages:
+            diagnostics = verify_program(candidate)
+            if not show_warnings:
+                diagnostics = [diagnostic for diagnostic in diagnostics
+                               if diagnostic.is_error]
+            error_count += sum(diagnostic.is_error
+                               for diagnostic in diagnostics)
+            for diagnostic in diagnostics:
+                lines.append("%s (%s): %s" % (label, stage, diagnostic))
+    lines.append("linted %d program%s: %s"
+                 % (len(targets), "" if len(targets) == 1 else "s",
+                    ("%d error%s" % (error_count,
+                                     "" if error_count == 1 else "s"))
+                    if error_count else "clean"))
+    return "\n".join(lines) + "\n", 1 if error_count else 0
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if args.experiment == "lint":
+        text, exit_code = _lint(args.benchmarks, args.file,
+                                show_warnings=not args.no_warnings)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print("wrote %s" % args.output)
+        else:
+            print(text, end="")
+        return exit_code
+
     runner = SuiteRunner(scale=args.scale, runs=args.runs,
-                         cache_dir=False if args.no_cache else None)
+                         cache_dir=False if args.no_cache else None,
+                         verify=args.verify)
     names = args.benchmarks
     if args.workers > 1:
         from repro.benchmarksuite import ALL_BENCHMARK_NAMES

@@ -126,10 +126,12 @@ class SuiteRunner:
         cache_dir: trace cache directory; None = default; False
             disables caching entirely.
         max_instructions: per-run execution budget.
+        verify: run the IR verifier on every laid-out program (the
+            default; ``--no-verify`` on the CLI turns it off).
     """
 
     def __init__(self, scale=1.0, runs=None, cache_dir=None,
-                 max_instructions=500_000_000):
+                 max_instructions=500_000_000, verify=True):
         self.scale = scale
         self.runs = runs
         if cache_dir is False:
@@ -137,6 +139,7 @@ class SuiteRunner:
         else:
             self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.max_instructions = max_instructions
+        self.verify = verify
         self._memo = {}
 
     # -- cache plumbing ------------------------------------------------------
@@ -185,7 +188,7 @@ class SuiteRunner:
                 np.savez_compressed(trace_path, **trace.to_arrays())
                 profile_path.write_text(json.dumps(profile.to_dict()))
 
-        layout = build_fs_program(program, profile)
+        layout = build_fs_program(program, profile, verify=self.verify)
         run = BenchmarkRun(name, spec, program, layout, profile, trace,
                            self.scale, n_runs)
         self._memo[name] = run
@@ -197,7 +200,7 @@ class SuiteRunner:
         suite = spec.input_suite(scale=self.scale, runs=n_runs)
         profile, base_outputs = profile_program(
             program, suite, max_instructions=self.max_instructions)
-        layout = build_fs_program(program, profile)
+        layout = build_fs_program(program, profile, verify=self.verify)
 
         merged = None
         for index, streams in enumerate(suite):

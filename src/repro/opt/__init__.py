@@ -7,7 +7,8 @@ before profile-driven layout:
 * :mod:`~repro.opt.jump_threading` — retarget branches that point at
   unconditional jumps;
 * :mod:`~repro.opt.dead_code` — remove code unreachable from the entry
-  point (with full address remapping);
+  point (with full address remapping) and, via liveness, pure register
+  writes whose destination is never read;
 * :mod:`~repro.opt.peephole` — delete self-moves and jumps to the next
   instruction;
 * :mod:`~repro.opt.block_constants` — basic-block-local constant
@@ -20,7 +21,7 @@ full benchmark suite.
 
 from repro.opt.pipeline import OptimizationReport, optimize
 from repro.opt.jump_threading import thread_jumps
-from repro.opt.dead_code import remove_dead_code
+from repro.opt.dead_code import remove_dead_code, remove_dead_writes
 from repro.opt.peephole import peephole
 from repro.opt.block_constants import propagate_block_constants
 from repro.opt.inline import InlineReport, inline_functions
@@ -30,6 +31,7 @@ __all__ = [
     "optimize",
     "thread_jumps",
     "remove_dead_code",
+    "remove_dead_writes",
     "peephole",
     "propagate_block_constants",
     "InlineReport",

@@ -1,12 +1,22 @@
-"""Unreachable-code elimination.
+"""Dead-code elimination: unreachable blocks and dead register writes.
 
-Marks every instruction reachable from the program entry by following
-fall-through, branch targets, call targets, jump-table entries, and
-call-return continuations, then drops the rest.  Function entries not
-reachable from the entry point are dropped along with their bodies
-(their ``functions`` entries are removed too).
+Two independent reductions share this module:
+
+* :func:`remove_dead_code` marks every instruction reachable from the
+  program entry by following fall-through, branch targets, call
+  targets, jump-table entries, and call-return continuations, then
+  drops the rest.  Function entries not reachable from the entry
+  point are dropped along with their bodies (their ``functions``
+  entries are removed too).
+* :func:`remove_dead_writes` deletes pure register writes whose
+  destination the liveness analysis (:mod:`repro.analysis.liveness`)
+  proves is never read afterwards — typically ``LI`` sources left
+  behind by constant folding.  Writes with side effects or possible
+  faults (``LOAD``, ``DIV``, ``GETC``, ...) are never touched, nor is
+  anything inside a forward-slot region.
 """
 
+from repro.analysis.liveness import dead_register_writes
 from repro.isa.opcodes import Opcode
 from repro.opt.rewrite import rebuild
 
@@ -67,3 +77,21 @@ def remove_dead_code(program):
         new_program.labels.pop(label, None)
     new_program.validate()
     return new_program, removed
+
+
+def remove_dead_writes(program):
+    """Delete pure writes to dead registers.
+
+    Returns (new_program, instructions removed).  ``rebuild`` forwards
+    branch targets pointing at a deleted write to the next kept
+    instruction, which is exactly the deleted write's behaviour (its
+    only effect was reaching the next instruction once its destination
+    is dead).
+    """
+    dead = dead_register_writes(program)
+    if not dead:
+        return program.copy(), 0
+    keep = [True] * len(program.instructions)
+    for address in dead:
+        keep[address] = False
+    return rebuild(program, keep), len(dead)

@@ -26,6 +26,7 @@ executes every benchmark in both ``direct`` and ``execute`` slot modes
 and compares outputs byte for byte.
 """
 
+from repro.analysis.verify import assert_valid
 from repro.isa.opcodes import Opcode
 from repro.isa.instruction import Instruction
 from repro.isa.program import Program
@@ -95,7 +96,7 @@ def _collect_slot_copies(instructions, target, n_slots, absorb_branches):
 
 
 def fill_forward_slots(program, n_slots, fill_unconditional=False,
-                       absorb_branches=True):
+                       absorb_branches=True, verify=True):
     """Apply forward-slot filling to a laid-out program.
 
     Args:
@@ -110,6 +111,10 @@ def fill_forward_slots(program, n_slots, fill_unconditional=False,
             the slots (the Forward Semantic's advantage); False models
             the Delayed-Branch-with-Squashing restriction and pads with
             NO-OPs instead.
+        verify: run the IR verifier on the expanded program (checks,
+            among the rest, the slot-region invariant: the copies must
+            be a faithful target-path prefix and nothing may jump into
+            the middle of a slot region).
 
     Returns:
         (new_program, :class:`ExpansionReport`)
@@ -189,6 +194,8 @@ def fill_forward_slots(program, n_slots, fill_unconditional=False,
 
     new_program.resolved = True
     new_program.validate()
+    if verify:
+        assert_valid(new_program, context="forward-slot filling")
     report = ExpansionReport(original_size, len(new_instructions),
                              likely_branches, copied_total, padding_total,
                              n_slots)

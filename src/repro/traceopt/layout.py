@@ -18,6 +18,7 @@ The result is the paper's property that conditional branches predicted
 taken sit at the ends of traces, ready for forward-slot filling.
 """
 
+from repro.analysis.verify import assert_valid
 from repro.cfg import ControlFlowGraph
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode, invert_branch
@@ -57,11 +58,13 @@ class LayoutResult:
         }
 
 
-def lay_out_traces(program, cfg, profile, traces):
+def lay_out_traces(program, cfg, profile, traces, verify=True):
     """Apply trace layout; returns a :class:`LayoutResult`.
 
     ``program`` must be the resolved program ``cfg`` and ``profile``
-    were computed from; it is not modified.
+    were computed from; it is not modified.  With ``verify=True`` the
+    laid-out program is run through the IR verifier
+    (:func:`repro.analysis.verify.assert_valid`) before returning.
     """
     ordered_traces = sorted(
         traces, key=lambda trace: (-trace.weight, trace.blocks[0]))
@@ -151,6 +154,8 @@ def lay_out_traces(program, cfg, profile, traces):
 
     new_program.resolved = True
     new_program.validate()
+    if verify:
+        assert_valid(new_program, context="trace layout")
     return LayoutResult(new_program, leader_map, old_address_of,
                         ordered_traces, trace_spans)
 
@@ -194,7 +199,7 @@ def _set_likely(terminator, profile, old_site, inverted):
     terminator.likely = fraction > 0.5
 
 
-def build_fs_program(program, profile, min_probability=0.0):
+def build_fs_program(program, profile, min_probability=0.0, verify=True):
     """Convenience pipeline: CFG -> trace selection -> layout.
 
     Returns the :class:`LayoutResult` for ``program`` under
@@ -202,4 +207,4 @@ def build_fs_program(program, profile, min_probability=0.0):
     """
     cfg = ControlFlowGraph.from_program(program)
     traces = select_traces(cfg, profile, min_probability=min_probability)
-    return lay_out_traces(program, cfg, profile, traces)
+    return lay_out_traces(program, cfg, profile, traces, verify=verify)
