@@ -3,13 +3,34 @@
 Not a paper experiment: these keep the reproduction usable by tracking
 the throughput of the VM interpreter, the predictor simulators, and
 the FS compiler passes — the costs that gate paper-scale runs.
+
+The module also writes ``BENCH_telemetry.json`` next to the repo root
+on teardown (per-stage wall clock and the measured throughput rates),
+so the perf trajectory is comparable across PRs.
 """
+
+import json
+from pathlib import Path
+
+import pytest
 
 from repro.benchmarksuite import compile_benchmark, get_benchmark
 from repro.predictors import CounterBTB, SimpleBTB, simulate
 from repro.traceopt import build_fs_program, fill_forward_slots
 from repro.profiling import profile_program
 from repro.vm import Machine
+
+#: Rates and stage timings the tests below record; flushed to
+#: BENCH_telemetry.json when the module finishes.
+_TELEMETRY_REPORT = {"rates": {}, "stages": {}}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_telemetry():
+    yield
+    path = Path(__file__).resolve().parents[1] / "BENCH_telemetry.json"
+    path.write_text(json.dumps(_TELEMETRY_REPORT, indent=2,
+                               sort_keys=True) + "\n")
 
 
 def test_vm_throughput(benchmark):
@@ -23,6 +44,7 @@ def test_vm_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     rate = result.instructions / benchmark.stats.stats.mean
+    _TELEMETRY_REPORT["rates"]["vm_instructions_per_second"] = rate
     print("\nVM throughput: %.0f instructions/second "
           "(%d instructions per run)" % (rate, result.instructions))
     assert rate > 100_000  # the floor that keeps paper-scale runs sane
@@ -59,6 +81,7 @@ def test_predictor_throughput(benchmark, runner, all_runs):
 
     benchmark.pedantic(run, rounds=3, iterations=1)
     rate = 2 * len(largest.trace) / benchmark.stats.stats.mean
+    _TELEMETRY_REPORT["rates"]["predictor_records_per_second"] = rate
     print("\npredictor throughput: %.0f records/second" % rate)
     assert rate > 50_000
 
@@ -76,3 +99,55 @@ def test_fs_compile_pipeline_latency(benchmark):
 
     expanded, report = benchmark.pedantic(pipeline, rounds=3, iterations=1)
     assert report.expanded_size > 0
+
+
+def test_cycle_sim_throughput(benchmark, all_runs):
+    """Branch records per second through the cycle-level simulator."""
+    from repro.pipeline.config import PipelineConfig
+    from repro.pipeline.cycle_sim import CycleSimulator
+
+    largest = max(all_runs.values(), key=lambda run: len(run.trace))
+    config = PipelineConfig(k=1, l=1, m=2)
+
+    def run():
+        return CycleSimulator(config, CounterBTB()).run(largest.trace)
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    rate = len(largest.trace) / benchmark.stats.stats.mean
+    _TELEMETRY_REPORT["rates"]["cycle_sim_records_per_second"] = rate
+    _TELEMETRY_REPORT["rates"]["cycle_sim_instructions_per_second"] = (
+        stats.instructions / benchmark.stats.stats.mean)
+    print("\ncycle sim throughput: %.0f records/second" % rate)
+    assert stats.cycles > stats.instructions
+
+
+def test_pipeline_stage_telemetry(runner):
+    """A telemetry-enabled run exposes stage spans and key counters.
+
+    Also the source of the per-stage wall clock in
+    ``BENCH_telemetry.json``: the stage timings come from the run
+    manifest (always measured), the counters prove instrumentation
+    fires when the registry is on.
+    """
+    from repro.telemetry.core import TELEMETRY
+    from repro.telemetry.sinks import InMemoryAggregator
+
+    sink = InMemoryAggregator()
+    TELEMETRY.enable(sink)
+    try:
+        run = runner.run("wc")
+        run.predictions()
+    finally:
+        TELEMETRY.disable()
+
+    snapshot = TELEMETRY.snapshot()
+    TELEMETRY.reset()
+    assert (TELEMETRY.counter_value("runner.cache.hit") == 0)  # reset
+    assert snapshot["counters"].get("predictor.records", 0) > 0
+    assert any(name.startswith("span.runner.")
+               for name in snapshot["histograms"])
+    assert sink.named("predictor.simulate")
+
+    manifest = run.manifest
+    if manifest is not None:
+        _TELEMETRY_REPORT["stages"] = dict(manifest.stages)

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Pre-PR gate: lint + tier-1 tests.  Run from anywhere; exits non-zero
+# on the first failure.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --no-lint  # tests only
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+run_lint=1
+if [ "${1:-}" = "--no-lint" ]; then
+    run_lint=0
+fi
+
+if [ "$run_lint" = 1 ]; then
+    if command -v ruff >/dev/null 2>&1; then
+        echo "== ruff check =="
+        ruff check src tests benchmarks
+    elif python -c "import ruff" >/dev/null 2>&1; then
+        echo "== ruff check (module) =="
+        python -m ruff check src tests benchmarks
+    else
+        echo "== ruff not installed: skipping lint =="
+    fi
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q
+
+echo "== all checks passed =="

@@ -4,6 +4,10 @@ Examples::
 
     repro-branches table3
     repro-branches all --scale 0.2
+    repro-branches stats wc --limit 10
+    repro-branches stats grep --json
+    repro-branches profile wc --telemetry
+    repro-branches cache
     repro-branches lint --benchmarks wc grep
     repro-branches lint --file program.asm
     python -m repro table5 --no-cache
@@ -42,6 +46,9 @@ _EXPERIMENTS = {
 _ORDER = ("table1", "table2", "table3", "table4", "table5", "figures",
           "headline", "storage")
 
+#: Subcommands that accept an optional benchmark name positionally.
+_TARGETED = ("stats", "profile", "trace")
+
 
 def build_parser():
     parser = argparse.ArgumentParser(
@@ -50,13 +57,21 @@ def build_parser():
                     "hardware branch cost reduction.")
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["all", "trace",
-                                                        "lint"],
+                                                        "lint", "stats",
+                                                        "profile", "cache"],
                         help="which table/figure to regenerate; 'report' "
                              "renders everything as markdown; 'trace' "
-                             "dumps a benchmark's branch trace; 'lint' "
+                             "dumps a benchmark's branch trace; 'stats' "
+                             "attributes mispredictions to static branch "
+                             "sites per scheme; 'profile' reports "
+                             "per-stage wall clock; 'cache' lists trace "
+                             "cache artifacts and their manifests; 'lint' "
                              "runs the IR verifier over benchmark programs "
                              "(or an assembled --file) and exits non-zero "
                              "on errors")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="benchmark name for 'stats', 'profile' and "
+                             "'trace' (default wc)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="input size multiplier (default 1.0)")
     parser.add_argument("--runs", type=int, default=None,
@@ -84,6 +99,20 @@ def build_parser():
                              "instead of the benchmark suite")
     parser.add_argument("--no-warnings", action="store_true",
                         help="for 'lint': report only errors")
+    parser.add_argument("--json", action="store_true",
+                        help="for 'stats' and 'cache': emit the "
+                             "machine-readable JSON payload")
+    parser.add_argument("--telemetry", dest="telemetry",
+                        action="store_true", default=False,
+                        help="enable the telemetry registry (spans, "
+                             "counters, JSONL event log; default off)")
+    parser.add_argument("--no-telemetry", dest="telemetry",
+                        action="store_false",
+                        help="force telemetry off (the default)")
+    parser.add_argument("--telemetry-log", default=None, metavar="PATH",
+                        help="JSONL event-log path when telemetry is on "
+                             "(default: telemetry.jsonl under the trace "
+                             "cache directory)")
     return parser
 
 
@@ -172,39 +201,82 @@ def _lint(names, file_path, show_warnings=True):
     return "\n".join(lines) + "\n", 1 if error_count else 0
 
 
+def _write_output(text, output):
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text)
+        print("wrote %s" % output)
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def _enable_telemetry(args):
+    """Turn the registry on with a JSONL sink; returns the log path."""
+    from pathlib import Path
+
+    from repro.experiments.runner import default_cache_dir
+    from repro.telemetry.core import TELEMETRY
+    from repro.telemetry.sinks import JsonlSink
+
+    if args.telemetry_log:
+        event_log = Path(args.telemetry_log)
+    else:
+        event_log = default_cache_dir() / "telemetry.jsonl"
+    event_log.parent.mkdir(parents=True, exist_ok=True)
+    TELEMETRY.enable(JsonlSink(event_log))
+    return event_log
+
+
 def main(argv=None):
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.target and args.experiment not in _TARGETED:
+        parser.error("benchmark target only applies to %s"
+                     % "/".join(_TARGETED))
     if args.experiment == "lint":
         text, exit_code = _lint(args.benchmarks, args.file,
                                 show_warnings=not args.no_warnings)
-        if args.output:
-            with open(args.output, "w") as handle:
-                handle.write(text)
-            print("wrote %s" % args.output)
-        else:
-            print(text, end="")
+        _write_output(text, args.output)
         return exit_code
+    if args.experiment == "cache":
+        from repro.experiments.stats import render_cache
 
-    runner = SuiteRunner(scale=args.scale, runs=args.runs,
-                         cache_dir=False if args.no_cache else None,
-                         verify=args.verify)
-    names = args.benchmarks
-    if args.workers > 1:
-        from repro.benchmarksuite import ALL_BENCHMARK_NAMES
-        runner.run_all(names or ALL_BENCHMARK_NAMES, workers=args.workers)
-    if args.experiment == "all":
-        text = "\n".join(_EXPERIMENTS[key](runner, names)
-                         for key in _ORDER)
-    elif args.experiment == "trace":
-        text = _dump_trace(runner, names, args.limit)
-    else:
-        text = _EXPERIMENTS[args.experiment](runner, names)
-    if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(text)
-        print("wrote %s" % args.output)
-    else:
-        print(text)
+        _write_output(render_cache(as_json=args.json), args.output)
+        return 0
+
+    event_log = _enable_telemetry(args) if args.telemetry else None
+    try:
+        runner = SuiteRunner(scale=args.scale, runs=args.runs,
+                             cache_dir=False if args.no_cache else None,
+                             verify=args.verify, event_log=event_log)
+        names = ([args.target] if args.target else None) or args.benchmarks
+        if args.workers > 1:
+            from repro.benchmarksuite import ALL_BENCHMARK_NAMES
+            runner.run_all(names or ALL_BENCHMARK_NAMES,
+                           workers=args.workers)
+        if args.experiment == "all":
+            text = "\n".join(_EXPERIMENTS[key](runner, names)
+                             for key in _ORDER)
+        elif args.experiment == "trace":
+            text = _dump_trace(runner, names, args.limit)
+        elif args.experiment == "stats":
+            from repro.experiments.stats import render_stats
+            text = render_stats(runner, names, limit=args.limit,
+                                as_json=args.json)
+        elif args.experiment == "profile":
+            from repro.experiments.stats import render_profile
+            text = render_profile(runner, names)
+        else:
+            text = _EXPERIMENTS[args.experiment](runner, names)
+    finally:
+        if event_log is not None:
+            from repro.telemetry.core import TELEMETRY
+
+            if TELEMETRY.sink is not None:
+                TELEMETRY.sink.close()
+            TELEMETRY.disable().reset()
+            print("telemetry event log: %s" % event_log, file=sys.stderr)
+    _write_output(text, args.output)
     return 0
 
 

@@ -17,9 +17,12 @@ and a format version.  Everything else is recomputed deterministically
 from those artifacts.
 """
 
+import contextlib
 import hashlib
 import json
 import os
+import re
+import time
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +30,12 @@ import numpy as np
 from repro.benchmarksuite import get_benchmark
 from repro.lang import compile_source
 from repro.profiling import Profile, profile_program
+from repro.telemetry.core import TELEMETRY
+from repro.telemetry.manifest import (
+    RunManifest,
+    git_sha,
+    manifest_path_for,
+)
 from repro.traceopt import build_fs_program, fill_forward_slots
 from repro.predictors import (
     CounterBTB,
@@ -36,7 +45,31 @@ from repro.predictors import (
 )
 from repro.vm import BranchTrace, run_program
 
-CACHE_FORMAT_VERSION = 1
+# Version 2: cache entries gained a sibling run-manifest JSON; bumping
+# regenerates pre-manifest caches (and emits a cache.invalidated event
+# for each one found).
+CACHE_FORMAT_VERSION = 2
+
+_VERSION_IN_STEM = re.compile(r"-v(\d+)-")
+
+_UNSET = object()
+
+
+@contextlib.contextmanager
+def _stage(stages, name, benchmark):
+    """Time a pipeline stage into ``stages`` and span it when enabled.
+
+    The wall clock always runs (the run manifest wants per-stage
+    seconds whether or not telemetry is on); the span — and thus the
+    event stream — engages only when telemetry is enabled.
+    """
+    with TELEMETRY.span("runner." + name, benchmark=benchmark):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            stages[name] = stages.get(name, 0.0) + (
+                time.perf_counter() - start)
 
 SLOT_COUNTS = (1, 2, 4, 8)  # the k + l values of Table 5
 
@@ -47,7 +80,7 @@ class BenchmarkRun:
     """All measured artifacts for one benchmark at one scale."""
 
     def __init__(self, name, spec, program, layout, profile, trace,
-                 scale, runs):
+                 scale, runs, manifest=None):
         self.name = name
         self.spec = spec
         self.program = program          # base compiled program
@@ -56,6 +89,7 @@ class BenchmarkRun:
         self.trace = trace              # merged evaluation trace
         self.scale = scale
         self.runs = runs
+        self.manifest = manifest        # RunManifest (None when uncached)
         self._stats = None
         self._predictions = None
         self._expansions = None
@@ -86,14 +120,19 @@ class BenchmarkRun:
                    and counter_bits == 2 and threshold == 2)
         if default and self._predictions is not None:
             return self._predictions
-        results = {
-            "SBTB": simulate(SimpleBTB(entries, associativity), self.trace),
-            "CBTB": simulate(
-                CounterBTB(entries, associativity, counter_bits, threshold),
-                self.trace),
-            "FS": simulate(
-                ForwardSemanticPredictor(program=self.fs_program), self.trace),
-        }
+        with TELEMETRY.span("runner.predict", benchmark=self.name,
+                            entries=entries):
+            results = {
+                "SBTB": simulate(SimpleBTB(entries, associativity),
+                                 self.trace),
+                "CBTB": simulate(
+                    CounterBTB(entries, associativity, counter_bits,
+                               threshold),
+                    self.trace),
+                "FS": simulate(
+                    ForwardSemanticPredictor(program=self.fs_program),
+                    self.trace),
+            }
         if default:
             self._predictions = results
         return results
@@ -101,10 +140,11 @@ class BenchmarkRun:
     def expansions(self):
         """Table 5's code-size reports, one per slot count."""
         if self._expansions is None:
-            self._expansions = {
-                n_slots: fill_forward_slots(self.fs_program, n_slots)[1]
-                for n_slots in SLOT_COUNTS
-            }
+            with TELEMETRY.span("runner.expansions", benchmark=self.name):
+                self._expansions = {
+                    n_slots: fill_forward_slots(self.fs_program, n_slots)[1]
+                    for n_slots in SLOT_COUNTS
+                }
         return self._expansions
 
 
@@ -114,6 +154,45 @@ def default_cache_dir():
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def list_cache_entries(cache_dir=None):
+    """Inventory of the trace cache for ``repro-branches cache``.
+
+    Groups the ``.npz`` trace, ``.json`` profile, and
+    ``.manifest.json`` of each cache stem; returns a list of dicts
+    (sorted by stem) with sizes, the current-version flag, and the
+    parsed manifest when one exists.
+    """
+    cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+    entries = []
+    if not cache_dir.is_dir():
+        return entries
+    for trace_path in sorted(cache_dir.glob("*.npz")):
+        stem = trace_path.stem
+        profile_path = trace_path.with_suffix(".json")
+        manifest_path = manifest_path_for(trace_path)
+        size = trace_path.stat().st_size
+        if profile_path.exists():
+            size += profile_path.stat().st_size
+        manifest = None
+        if manifest_path.exists():
+            size += manifest_path.stat().st_size
+            try:
+                manifest = RunManifest.load(manifest_path)
+            except (OSError, ValueError, KeyError):
+                manifest = None
+        match = _VERSION_IN_STEM.search(trace_path.name)
+        version = int(match.group(1)) if match else None
+        entries.append({
+            "stem": stem,
+            "path": str(trace_path),
+            "size_bytes": size,
+            "format_version": version,
+            "current": version == CACHE_FORMAT_VERSION,
+            "manifest": manifest,
+        })
+    return entries
 
 
 class SuiteRunner:
@@ -128,10 +207,14 @@ class SuiteRunner:
         max_instructions: per-run execution budget.
         verify: run the IR verifier on every laid-out program (the
             default; ``--no-verify`` on the CLI turns it off).
+        event_log: path of the telemetry JSONL event log this run
+            writes to (recorded in run manifests); None when telemetry
+            is off or in-memory.
     """
 
     def __init__(self, scale=1.0, runs=None, cache_dir=None,
-                 max_instructions=500_000_000, verify=True):
+                 max_instructions=500_000_000, verify=True,
+                 event_log=None):
         self.scale = scale
         self.runs = runs
         if cache_dir is False:
@@ -140,7 +223,9 @@ class SuiteRunner:
             self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.max_instructions = max_instructions
         self.verify = verify
+        self.event_log = str(event_log) if event_log else None
         self._memo = {}
+        self._git_sha = _UNSET
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -156,6 +241,41 @@ class SuiteRunner:
         return (self.cache_dir / (stem + ".npz"),
                 self.cache_dir / (stem + ".json"))
 
+    def _report_stale_versions(self, name, n_runs, source):
+        """Detect cache entries written under another format version.
+
+        The format version is baked into the cache file name, so a
+        bump silently turns every old entry into dead weight; this
+        surfaces each one as a structured ``cache.invalidated`` event
+        (and counter) instead of leaving the staleness invisible.
+        """
+        if self.cache_dir is None or not self.cache_dir.is_dir():
+            return []
+        digest = hashlib.sha1(source.encode()).hexdigest()[:10]
+        stem = ("%s-s%s-r%d-v*-%s"
+                % (name, repr(self.scale), n_runs, digest))
+        pattern = stem.replace(".", "_") + ".npz"
+        stale = []
+        for path in sorted(self.cache_dir.glob(pattern)):
+            match = _VERSION_IN_STEM.search(path.name)
+            if match is None:
+                continue
+            found = int(match.group(1))
+            if found == CACHE_FORMAT_VERSION:
+                continue
+            stale.append(path)
+            TELEMETRY.count("runner.cache.invalidated")
+            TELEMETRY.event(
+                "cache.invalidated", benchmark=name, path=str(path),
+                found_version=found,
+                expected_version=CACHE_FORMAT_VERSION)
+        return stale
+
+    def _repo_git_sha(self):
+        if self._git_sha is _UNSET:
+            self._git_sha = git_sha(Path(__file__).resolve().parents[3])
+        return self._git_sha
+
     # -- execution ------------------------------------------------------------
 
     def run(self, name):
@@ -163,57 +283,114 @@ class SuiteRunner:
         if name in self._memo:
             return self._memo[name]
 
+        stages = {}
         spec = get_benchmark(name)
         n_runs = spec.runs if self.runs is None else min(self.runs, spec.runs)
-        program = compile_source(spec.source, name=name)
+        with _stage(stages, "compile", name):
+            program = compile_source(spec.source, name=name)
 
+        self._report_stale_versions(name, n_runs, spec.source)
         trace_path, profile_path = self._cache_paths(name, n_runs,
                                                      spec.source)
         profile = None
         trace = None
+        manifest = None
         if trace_path is not None and trace_path.exists() and profile_path.exists():
             try:
-                with np.load(trace_path) as arrays:
-                    trace = BranchTrace.from_arrays(arrays)
-                profile = Profile.from_dict(
-                    json.loads(profile_path.read_text()))
+                with _stage(stages, "cache_load", name):
+                    with np.load(trace_path) as arrays:
+                        trace = BranchTrace.from_arrays(arrays)
+                    profile = Profile.from_dict(
+                        json.loads(profile_path.read_text()))
             except Exception:
                 trace = None
                 profile = None
+                TELEMETRY.count("runner.cache.corrupt")
+                TELEMETRY.event("cache.corrupt", benchmark=name,
+                                path=str(trace_path))
 
-        if trace is None or profile is None:
-            profile, trace = self._execute(spec, program, n_runs)
+        cache_hit = trace is not None and profile is not None
+        TELEMETRY.count("runner.cache.hit" if cache_hit
+                        else "runner.cache.miss")
+        if cache_hit:
+            TELEMETRY.event("cache.hit", benchmark=name,
+                            path=str(trace_path))
+            manifest_path = manifest_path_for(trace_path)
+            if manifest_path.exists():
+                try:
+                    manifest = RunManifest.load(manifest_path)
+                except (OSError, ValueError, KeyError):
+                    manifest = None
+        else:
+            profile, trace = self._execute(spec, program, n_runs, stages)
             if trace_path is not None:
-                self.cache_dir.mkdir(parents=True, exist_ok=True)
-                np.savez_compressed(trace_path, **trace.to_arrays())
-                profile_path.write_text(json.dumps(profile.to_dict()))
+                with _stage(stages, "cache_store", name):
+                    self.cache_dir.mkdir(parents=True, exist_ok=True)
+                    np.savez_compressed(trace_path, **trace.to_arrays())
+                    profile_path.write_text(json.dumps(profile.to_dict()))
 
-        layout = build_fs_program(program, profile, verify=self.verify)
+        with _stage(stages, "layout", name):
+            layout = build_fs_program(program, profile, verify=self.verify)
+
+        if manifest is None:
+            manifest = self._build_manifest(name, n_runs, trace_path,
+                                            profile_path, stages)
+            if trace_path is not None and not cache_hit:
+                manifest.write(manifest_path_for(trace_path))
+
         run = BenchmarkRun(name, spec, program, layout, profile, trace,
-                           self.scale, n_runs)
+                           self.scale, n_runs, manifest=manifest)
         self._memo[name] = run
         return run
 
-    def _execute(self, spec, program, n_runs):
+    def _build_manifest(self, name, n_runs, trace_path, profile_path,
+                        stages):
+        """The provenance record written beside the cache artifacts."""
+        cache_key = trace_path.stem if trace_path is not None else None
+        artifacts = {}
+        if trace_path is not None:
+            artifacts = {"trace": trace_path.name,
+                         "profile": profile_path.name}
+        return RunManifest(
+            benchmark=name,
+            cache_key=cache_key,
+            format_version=CACHE_FORMAT_VERSION,
+            config={"scale": self.scale, "runs": n_runs,
+                    "max_instructions": self.max_instructions,
+                    "verify": self.verify},
+            git_sha=self._repo_git_sha(),
+            stages=stages,
+            event_log=self.event_log,
+            artifacts=artifacts,
+        )
+
+    def _execute(self, spec, program, n_runs, stages=None):
         """The two VM passes: profile the base program, trace the laid-out
         program, verifying output equality along the way."""
+        if stages is None:
+            stages = {}
         suite = spec.input_suite(scale=self.scale, runs=n_runs)
-        profile, base_outputs = profile_program(
-            program, suite, max_instructions=self.max_instructions)
-        layout = build_fs_program(program, profile, verify=self.verify)
+        with _stage(stages, "profile", spec.name):
+            profile, base_outputs = profile_program(
+                program, suite, max_instructions=self.max_instructions)
+        with _stage(stages, "layout", spec.name):
+            layout = build_fs_program(program, profile,
+                                      verify=self.verify)
 
         merged = None
-        for index, streams in enumerate(suite):
-            result = run_program(layout.program, inputs=streams, trace=True,
-                                 max_instructions=self.max_instructions)
-            if result.output != base_outputs[index]:
-                raise RuntimeError(
-                    "layout changed the output of %s run %d"
-                    % (spec.name, index))
-            if merged is None:
-                merged = result.trace
-            else:
-                merged.extend(result.trace)
+        with _stage(stages, "trace", spec.name):
+            for index, streams in enumerate(suite):
+                result = run_program(layout.program, inputs=streams,
+                                     trace=True,
+                                     max_instructions=self.max_instructions)
+                if result.output != base_outputs[index]:
+                    raise RuntimeError(
+                        "layout changed the output of %s run %d"
+                        % (spec.name, index))
+                if merged is None:
+                    merged = result.trace
+                else:
+                    merged.extend(result.trace)
         return profile, merged
 
     def run_all(self, names=None, workers=None):

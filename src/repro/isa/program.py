@@ -48,6 +48,11 @@ class Program:
         jump_tables: list of :class:`JumpTable` (indexed by TABLE's imm).
         globals_size: number of words of global data memory the program
             expects to be zero-initialised.
+        lines: sparse mapping of instruction address -> originating
+            source line.  Populated by the Minic code generator and
+            carried through the layout pass; empty for assembled or
+            synthetic programs.  Consumed by the mispredict
+            attribution report.
         resolved: True once branch targets are absolute addresses.
     """
 
@@ -57,6 +62,7 @@ class Program:
         self.labels = {}
         self.functions = {}
         self.jump_tables = []
+        self.lines = {}
         self.globals_size = 0
         # Initialised data: memory address -> initial value.  Applied by
         # the VM before execution, like a real executable's data
@@ -174,6 +180,7 @@ class Program:
         duplicate.labels = dict(self.labels)
         duplicate.functions = dict(self.functions)
         duplicate.jump_tables = [table.copy() for table in self.jump_tables]
+        duplicate.lines = dict(self.lines)
         duplicate.globals_size = self.globals_size
         duplicate.data_init = dict(self.data_init)
         duplicate.resolved = self.resolved

@@ -71,6 +71,7 @@ class _FunctionEmitter:
         self.break_labels = []
         self.continue_labels = []
         self.epilogue = generator.new_label(function.name, "epilogue")
+        self.current_line = function.line
 
     # -- registers -----------------------------------------------------------
 
@@ -119,7 +120,10 @@ class _FunctionEmitter:
     # -- emission ------------------------------------------------------------------
 
     def emit(self, op, **kwargs):
-        return self.program.emit(op, **kwargs)
+        address = self.program.emit(op, **kwargs)
+        if self.current_line:
+            self.program.lines[address] = self.current_line
+        return address
 
     def mark(self, label):
         self.program.mark_label(label)
@@ -141,6 +145,7 @@ class _FunctionEmitter:
     # -- statements -------------------------------------------------------------------
 
     def statement(self, node):
+        self.current_line = node.line
         if isinstance(node, ast.Block):
             for child in node.statements:
                 self.statement(child)
@@ -348,6 +353,9 @@ class _FunctionEmitter:
 
     def branch_true(self, expr, label):
         """Emit code that jumps to ``label`` when ``expr`` is true."""
+        # Loop back-edges emit their condition after the body; the
+        # condition's own line keeps the line table accurate there.
+        self.current_line = expr.line
         if isinstance(expr, ast.Binary) and expr.op in _COMPARE_OPS:
             left = self.value(expr.left)
             right = self.value(expr.right)
@@ -378,6 +386,7 @@ class _FunctionEmitter:
 
     def branch_false(self, expr, label):
         """Emit code that jumps to ``label`` when ``expr`` is false."""
+        self.current_line = expr.line
         if isinstance(expr, ast.Binary) and expr.op in _COMPARE_OPS:
             left = self.value(expr.left)
             right = self.value(expr.right)

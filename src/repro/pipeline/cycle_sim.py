@@ -27,19 +27,25 @@ from repro.vm.tracing import BranchClass
 
 
 class CycleStats:
-    """Outcome of a cycle simulation."""
+    """Outcome of a cycle simulation.
+
+    ``squashed_by_class`` attributes the squash penalty to branch
+    classes (:class:`~repro.vm.tracing.BranchClass` codes): which kind
+    of branch a scheme actually pays for.
+    """
 
     __slots__ = ("cycles", "instructions", "branches", "squashed_cycles",
-                 "mispredictions", "fill_cycles")
+                 "mispredictions", "fill_cycles", "squashed_by_class")
 
     def __init__(self, cycles, instructions, branches, squashed_cycles,
-                 mispredictions, fill_cycles):
+                 mispredictions, fill_cycles, squashed_by_class=None):
         self.cycles = cycles
         self.instructions = instructions
         self.branches = branches
         self.squashed_cycles = squashed_cycles
         self.mispredictions = mispredictions
         self.fill_cycles = fill_cycles
+        self.squashed_by_class = dict(squashed_by_class or {})
 
     @property
     def cycles_per_instruction(self):
@@ -56,6 +62,18 @@ class CycleStats:
         if self.branches == 0:
             return 0.0
         return 1.0 + self.squashed_cycles / self.branches
+
+    @property
+    def squashed_conditional(self):
+        """Squash cycles paid at mispredicted conditional branches."""
+        return self.squashed_by_class.get(BranchClass.CONDITIONAL, 0)
+
+    @property
+    def squashed_unconditional(self):
+        """Squash cycles paid at uncovered unconditional branches."""
+        return sum(cycles for branch_class, cycles
+                   in self.squashed_by_class.items()
+                   if branch_class != BranchClass.CONDITIONAL)
 
     def __repr__(self):
         return ("CycleStats(%d cycles, %d instructions, CPI=%.3f, "
@@ -90,6 +108,7 @@ class CycleSimulator:
         unconditional_penalty = config.k + config.l
 
         squashed = 0
+        squashed_by_class = {}
         mispredictions = 0
         branches = 0
 
@@ -104,16 +123,34 @@ class CycleSimulator:
                 continue
             mispredictions += 1
             if branch_class == BranchClass.CONDITIONAL:
-                squashed += conditional_penalty
+                penalty = conditional_penalty
             else:
                 # Unconditional branches resolve at the end of decode.
-                squashed += unconditional_penalty
+                penalty = unconditional_penalty
+            squashed += penalty
+            squashed_by_class[branch_class] = (
+                squashed_by_class.get(branch_class, 0) + penalty)
 
         fill = config.depth - 1
         instructions = trace.total_instructions
         cycles = fill + instructions + squashed
-        return CycleStats(cycles, instructions, branches, squashed,
-                          mispredictions, fill)
+        stats = CycleStats(cycles, instructions, branches, squashed,
+                           mispredictions, fill, squashed_by_class)
+
+        from repro.telemetry.core import TELEMETRY
+        if TELEMETRY.enabled:
+            TELEMETRY.count("cycle_sim.runs")
+            TELEMETRY.count("cycle_sim.squashed_cycles", squashed)
+            TELEMETRY.event(
+                "cycle_sim.run", predictor=predictor.name,
+                cycles=stats.cycles, instructions=instructions,
+                branches=branches, mispredictions=mispredictions,
+                cycles_per_instruction=stats.cycles_per_instruction,
+                cost_per_branch=stats.cost_per_branch,
+                squashed_by_class={
+                    BranchClass.NAMES[code]: cycles
+                    for code, cycles in squashed_by_class.items()})
+        return stats
 
     def run_with_icache(self, trace, entry, icache, miss_penalty=8):
         """Simulate with an instruction cache in the fetch path.
@@ -135,5 +172,5 @@ class CycleSimulator:
         cycles = base.cycles + misses * miss_penalty
         stats = CycleStats(cycles, base.instructions, base.branches,
                            base.squashed_cycles, base.mispredictions,
-                           base.fill_cycles)
+                           base.fill_cycles, base.squashed_by_class)
         return stats, misses

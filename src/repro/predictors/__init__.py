@@ -32,6 +32,7 @@ from repro.predictors.base import (
     Predictor,
     simulate,
     site_report,
+    site_statistics,
 )
 from repro.predictors.assoc_cache import AssociativeCache
 from repro.predictors.sbtb import SimpleBTB
@@ -54,6 +55,7 @@ __all__ = [
     "Predictor",
     "simulate",
     "site_report",
+    "site_statistics",
     "AssociativeCache",
     "SimpleBTB",
     "CounterBTB",

@@ -31,6 +31,13 @@ class AssociativeCache:
         self.associativity = associativity
         self.n_sets = entries // associativity
         self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        self._size = 0
+        # Replacement telemetry, maintained on the (rare) eviction path
+        # only: an eviction while the cache as a whole still has free
+        # entries is a set conflict — aliasing the paper's
+        # fully-associative configuration never suffers.
+        self.evictions = 0
+        self.conflict_evictions = 0
 
     def _set_for(self, key):
         return self._sets[key % self.n_sets]
@@ -66,6 +73,11 @@ class AssociativeCache:
         evicted = None
         if len(bucket) >= self.associativity:
             evicted = bucket.popitem(last=False)
+            self.evictions += 1
+            if self._size < self.entries:
+                self.conflict_evictions += 1
+        else:
+            self._size += 1
         bucket[key] = value
         return evicted
 
@@ -74,15 +86,27 @@ class AssociativeCache:
         bucket = self._set_for(key)
         if key in bucket:
             del bucket[key]
+            self._size -= 1
             return True
         return False
 
     def clear(self):
         for bucket in self._sets:
             bucket.clear()
+        self._size = 0
 
     def __len__(self):
-        return sum(len(bucket) for bucket in self._sets)
+        return self._size
+
+    def telemetry_stats(self):
+        """Occupancy/replacement facts for the telemetry report."""
+        return {
+            "entries": self.entries,
+            "associativity": self.associativity,
+            "occupancy": self._size,
+            "evictions": self.evictions,
+            "conflict_evictions": self.conflict_evictions,
+        }
 
     def items(self):
         for bucket in self._sets:

@@ -118,6 +118,14 @@ class Predictor:
         """
         self.reset()
 
+    def telemetry_stats(self):
+        """Scheme-internal facts for the telemetry event stream.
+
+        Buffered schemes report occupancy/eviction/aliasing counts;
+        the base implementation only names the scheme.
+        """
+        return {"scheme": self.name}
+
 
 def is_correct(prediction, taken, target):
     """Score a prediction against the actual branch outcome.
@@ -133,30 +141,38 @@ def is_correct(prediction, taken, target):
     return True
 
 
+def site_statistics(predictor, trace, ras_returns=True):
+    """Per-static-site accuracy counts for one scheme over a trace.
+
+    Simulates ``predictor`` over ``trace`` and returns a dict mapping
+    each branch site to ``[executions, correct_predictions]``.  With
+    ``ras_returns`` (the default) return records are skipped, matching
+    the shared return-address mechanism of :func:`simulate`.
+    """
+    counts = {}
+    for site, branch_class, taken, target, _ in trace.records():
+        if ras_returns and branch_class == BranchClass.RETURN:
+            continue
+        prediction = predictor.predict(site, branch_class)
+        entry = counts.get(site)
+        if entry is None:
+            entry = counts[site] = [0, 0]
+        entry[0] += 1
+        if is_correct(prediction, taken, target):
+            entry[1] += 1
+        predictor.update(site, branch_class, taken, target)
+    return counts
+
+
 def site_report(predictor, trace, worst=10):
     """Per-site accuracy analysis: where does a scheme lose?
 
-    Simulates ``predictor`` over ``trace`` tracking per-site
-    executions and correct predictions; returns a list of
-    ``(site, executions, accuracy)`` for the ``worst``-predicted sites
-    (most mispredictions first).  Returns are skipped (covered by the
-    shared return mechanism).
+    Returns a list of ``(site, executions, accuracy)`` for the
+    ``worst``-predicted sites (most mispredictions first).  Returns are
+    skipped (covered by the shared return mechanism).
     """
-    executions = {}
-    correct_counts = {}
-    for site, branch_class, taken, target, _ in trace.records():
-        if branch_class == BranchClass.RETURN:
-            continue
-        prediction = predictor.predict(site, branch_class)
-        correct = is_correct(prediction, taken, target)
-        executions[site] = executions.get(site, 0) + 1
-        if correct:
-            correct_counts[site] = correct_counts.get(site, 0) + 1
-        predictor.update(site, branch_class, taken, target)
-
     rows = []
-    for site, execs in executions.items():
-        right = correct_counts.get(site, 0)
+    for site, (execs, right) in site_statistics(predictor, trace).items():
         rows.append((site, execs, right / execs, execs - right))
     rows.sort(key=lambda row: (-row[3], row[0]))
     return [(site, execs, accuracy)
@@ -212,4 +228,13 @@ def simulate(predictor, trace, flush_interval=None,
         stats.record(branch_class, correct, prediction.hit)
         predictor.update(site, branch_class, taken, target)
 
+    from repro.telemetry.core import TELEMETRY
+    if TELEMETRY.enabled:
+        TELEMETRY.count("predictor.records", stats.total)
+        TELEMETRY.event(
+            "predictor.simulate", records=stats.total,
+            correct=stats.correct, accuracy=stats.accuracy,
+            buffer_misses=stats.buffer_misses,
+            miss_ratio=stats.miss_ratio,
+            **predictor.telemetry_stats())
     return stats

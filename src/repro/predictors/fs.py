@@ -81,6 +81,15 @@ class ForwardSemanticPredictor(Predictor):
     def reset(self):
         pass
 
+    def telemetry_stats(self):
+        likely = sum(1 for bit in self._likely.values() if bit)
+        return {
+            "scheme": self.name,
+            "conditional_sites": len(self._likely),
+            "likely_taken_sites": likely,
+            "static_targets": len(self._targets),
+        }
+
 
 class _AnyTarget:
     def __eq__(self, other):

@@ -40,6 +40,11 @@ class SimpleBTB(Predictor):
     def occupancy(self):
         return len(self._cache)
 
+    def telemetry_stats(self):
+        stats = self._cache.telemetry_stats()
+        stats["scheme"] = self.name
+        return stats
+
     def __repr__(self):
         return "SimpleBTB(%d entries, %d used)" % (
             self._cache.entries, len(self._cache))

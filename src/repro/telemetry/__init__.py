@@ -1,0 +1,56 @@
+"""Observability for the experiment pipeline.
+
+Five pieces (see docs/OBSERVABILITY.md for the full guide):
+
+* :mod:`repro.telemetry.core` — the span/counter/histogram registry and
+  its process-wide singleton :data:`TELEMETRY` (disabled by default;
+  instrumented hot paths pay one attribute check until enabled);
+* :mod:`repro.telemetry.sinks` — event sinks: an in-memory aggregator
+  for tests/`profile`, a JSONL event log for runs;
+* :mod:`repro.telemetry.manifest` — run manifests, the provenance
+  records written next to cached artifacts;
+* :mod:`repro.telemetry.attribution` — per-site mispredict attribution
+  (the ``repro-branches stats`` report).
+
+``attribution`` imports the predictors (which are themselves
+instrumented with this package), so it is deliberately *not* imported
+here — import it as ``repro.telemetry.attribution``.
+"""
+
+from repro.telemetry.core import (
+    NULL_SPAN,
+    Counter,
+    Histogram,
+    Span,
+    TELEMETRY,
+    Telemetry,
+)
+from repro.telemetry.manifest import (
+    MANIFEST_VERSION,
+    RunManifest,
+    git_sha,
+    manifest_path_for,
+)
+from repro.telemetry.sinks import (
+    InMemoryAggregator,
+    JsonlSink,
+    Sink,
+    read_jsonl,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Counter",
+    "Histogram",
+    "Span",
+    "TELEMETRY",
+    "Telemetry",
+    "MANIFEST_VERSION",
+    "RunManifest",
+    "git_sha",
+    "manifest_path_for",
+    "InMemoryAggregator",
+    "JsonlSink",
+    "Sink",
+    "read_jsonl",
+]

@@ -1,0 +1,268 @@
+"""Spans, counters, and histograms: the in-process telemetry registry.
+
+The registry is a process-wide singleton (:data:`TELEMETRY`) that is
+**disabled by default**.  Instrumented code pays one attribute check on
+the disabled path (``TELEMETRY.enabled``); spans collapse to a shared
+no-op context manager and counters/events return immediately, so the
+experiment pipeline runs at full speed unless a run opts in with
+``--telemetry`` (or a test calls :meth:`Telemetry.enable`).
+
+Design points:
+
+* spans nest: each thread keeps its own span stack (``threading.local``)
+  so nested ``with telemetry.span(...)`` blocks report their depth and
+  parent without cross-thread interference;
+* timing uses ``time.perf_counter`` (monotonic, highest resolution);
+* aggregation is in-registry: every finished span feeds a duration
+  histogram keyed by span name, so a sink is optional for profiling;
+* all registry mutation happens under one lock — the experiment
+  harness's parallel cache warmers run in separate *processes*, but the
+  API stays safe for in-process threads too.
+"""
+
+import threading
+import time
+
+
+class Counter:
+    """A named monotonically growing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def __repr__(self):
+        return "Counter(%r, %d)" % (self.name, self.value)
+
+
+class Histogram:
+    """Streaming summary of observed values (count/total/min/max)."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def record(self, value):
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self):
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def to_dict(self):
+        return {"count": self.count, "total": self.total,
+                "min": self.minimum, "max": self.maximum,
+                "mean": self.mean}
+
+    def __repr__(self):
+        return "Histogram(%r, n=%d, total=%.6f)" % (
+            self.name, self.count, self.total)
+
+
+class Span:
+    """A timed region; use via ``with telemetry.span("name"):``.
+
+    On exit the duration is recorded into the registry's histogram for
+    the span name and a ``span`` event is emitted to the sink (if any).
+    Extra keyword attributes given at creation ride along on the event;
+    :meth:`annotate` adds more mid-flight.
+    """
+
+    __slots__ = ("registry", "name", "attrs", "start", "duration")
+
+    def __init__(self, registry, name, attrs):
+        self.registry = registry
+        self.name = name
+        self.attrs = attrs
+        self.start = None
+        self.duration = None
+
+    def annotate(self, **attrs):
+        """Attach attributes to the span's completion event."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self):
+        self.registry._push(self.name)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.duration = time.perf_counter() - self.start
+        depth = self.registry._pop()
+        self.registry._finish_span(self, depth,
+                                   failed=exc_type is not None)
+        return False
+
+
+class _NullSpan:
+    """The disabled path: a shared, stateless no-op span."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """The span/counter registry with a pluggable sink.
+
+    Args:
+        sink: optional event sink (see :mod:`repro.telemetry.sinks`);
+            spans and counters aggregate in-registry even without one.
+        enabled: start enabled (tests); the process singleton starts
+            disabled.
+    """
+
+    def __init__(self, sink=None, enabled=False):
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.sink = sink
+        self.enabled = enabled
+        self._counters = {}
+        self._histograms = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def enable(self, sink=None):
+        """Turn instrumentation on, optionally replacing the sink."""
+        if sink is not None:
+            self.sink = sink
+        self.enabled = True
+        return self
+
+    def disable(self):
+        """Turn instrumentation off (the sink is kept but unused)."""
+        self.enabled = False
+        return self
+
+    def reset(self):
+        """Clear all aggregates; detach the sink."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+        self.sink = None
+        return self
+
+    # -- span stack (per thread) -------------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, name):
+        self._stack().append(name)
+
+    def _pop(self):
+        stack = self._stack()
+        stack.pop()
+        return len(stack)
+
+    def current_span_name(self):
+        """Name of the innermost open span on this thread, or None."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name, **attrs):
+        """A timed context manager; a shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def _finish_span(self, span, depth, failed=False):
+        self.record("span." + span.name, span.duration)
+        if self.sink is not None:
+            event = {"type": "span", "name": span.name,
+                     "duration_s": span.duration, "depth": depth}
+            if failed:
+                event["failed"] = True
+            if span.attrs:
+                event.update(span.attrs)
+            self.sink.emit(event)
+
+    def count(self, name, amount=1):
+        """Add ``amount`` to the counter ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            counter.value += amount
+
+    def record(self, name, value):
+        """Record ``value`` into histogram ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            histogram.record(value)
+
+    def event(self, name, **fields):
+        """Emit a structured event to the sink (no-op when disabled)."""
+        if not self.enabled or self.sink is None:
+            return
+        event = {"type": "event", "name": name}
+        event.update(fields)
+        self.sink.emit(event)
+
+    # -- introspection ------------------------------------------------------
+
+    def counter_value(self, name):
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter is not None else 0
+
+    def histogram(self, name):
+        with self._lock:
+            return self._histograms.get(name)
+
+    def snapshot(self):
+        """All aggregates as one JSON-serialisable dict."""
+        with self._lock:
+            return {
+                "counters": {name: counter.value
+                             for name, counter in self._counters.items()},
+                "histograms": {name: histogram.to_dict()
+                               for name, histogram
+                               in self._histograms.items()},
+            }
+
+    def __repr__(self):
+        return "Telemetry(enabled=%s, %d counters, %d histograms)" % (
+            self.enabled, len(self._counters), len(self._histograms))
+
+
+#: The process-wide registry.  Disabled by default: instrumentation in
+#: the VM, predictors, and runner costs one attribute check per call
+#: site until someone enables it.
+TELEMETRY = Telemetry()

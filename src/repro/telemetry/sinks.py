@@ -1,0 +1,105 @@
+"""Event sinks for the telemetry registry.
+
+Two implementations cover the two consumers:
+
+* :class:`InMemoryAggregator` keeps events in a list — tests and the
+  ``profile`` CLI subcommand inspect it directly;
+* :class:`JsonlSink` appends one JSON object per line to an event log —
+  the durable record a run manifest points at.
+
+Sinks receive plain dicts (already carrying ``type``/``name``) and
+stamp a wall-clock ``ts`` so logs from different stages interleave
+meaningfully.
+"""
+
+import json
+import threading
+import time
+
+
+class Sink:
+    """Event consumer protocol."""
+
+    def emit(self, event):
+        raise NotImplementedError
+
+    def close(self):
+        """Flush and release resources (no-op by default)."""
+
+
+class InMemoryAggregator(Sink):
+    """Collects events in memory; the test and `profile` sink."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.events = []
+
+    def emit(self, event):
+        with self._lock:
+            self.events.append(dict(event))
+
+    def named(self, name):
+        """All events with the given ``name``, in emission order."""
+        with self._lock:
+            return [event for event in self.events
+                    if event.get("name") == name]
+
+    def of_type(self, event_type):
+        with self._lock:
+            return [event for event in self.events
+                    if event.get("type") == event_type]
+
+    def clear(self):
+        with self._lock:
+            self.events = []
+
+    def __len__(self):
+        with self._lock:
+            return len(self.events)
+
+    def __repr__(self):
+        return "InMemoryAggregator(%d events)" % len(self)
+
+
+class JsonlSink(Sink):
+    """Appends events to a JSON-lines file, one object per line.
+
+    The file is opened lazily on the first event (so enabling telemetry
+    without emitting anything leaves no empty file) and parent
+    directories are created as needed.
+    """
+
+    def __init__(self, path):
+        from pathlib import Path
+
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def emit(self, event):
+        line = json.dumps(dict(event, ts=time.time()), sort_keys=True)
+        with self._lock:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a")
+            self._handle.write(line + "\n")
+
+    def close(self):
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __repr__(self):
+        return "JsonlSink(%r)" % str(self.path)
+
+
+def read_jsonl(path):
+    """Parse an event log written by :class:`JsonlSink`."""
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -191,6 +191,13 @@ def fill_forward_slots(program, n_slots, fill_unconditional=False,
     for name, label in program.functions.items():
         new_program.labels[label] = address_map[program.labels[label]]
         new_program.functions[name] = label
+    if program.lines:
+        # Slot copies keep no line of their own; original instructions
+        # carry theirs to the expanded addresses.
+        new_program.lines = {
+            address_map[old_address]: line
+            for old_address, line in program.lines.items()
+        }
 
     new_program.resolved = True
     new_program.validate()

@@ -139,6 +139,16 @@ def lay_out_traces(program, cfg, profile, traces, verify=True):
         trace_spans.append((span_start, len(new_program.instructions)))
         position += 1
 
+    # Carry the source-line table across the reordering so laid-out
+    # addresses (the sites of the evaluation trace) still map to Minic
+    # source lines.  Inserted JUMPs have no old address and no line.
+    if program.lines:
+        new_program.lines = {
+            new_address: program.lines[old_address]
+            for new_address, old_address in enumerate(old_address_of)
+            if old_address is not None and old_address in program.lines
+        }
+
     # Pass 3: remap branch targets, jump tables, and function labels.
     for instr in new_program.instructions:
         if instr.is_branch and isinstance(instr.target, int):

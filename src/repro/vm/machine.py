@@ -14,8 +14,11 @@ slots cancels the countdown, which is exactly what an absorbed unlikely
 branch does when it fires.
 """
 
+import time
+
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
+from repro.telemetry.core import TELEMETRY
 from repro.vm.tracing import BranchTrace
 
 
@@ -149,7 +152,31 @@ class Machine:
         self.address_trace_enabled = address_trace
 
     def run(self):
-        """Execute the program until HALT; returns :class:`MachineResult`."""
+        """Execute the program until HALT; returns :class:`MachineResult`.
+
+        Telemetry is deliberately run-level, never per-instruction: the
+        dispatch loop is the hottest code in the repository, so the
+        disabled path costs one attribute check per *run* and the
+        enabled path times the whole execution and derives the dispatch
+        rate from the result's instruction count.
+        """
+        if not TELEMETRY.enabled:
+            return self._run()
+        start = time.perf_counter()
+        result = self._run()
+        duration = time.perf_counter() - start
+        TELEMETRY.count("vm.runs")
+        TELEMETRY.count("vm.instructions", result.instructions)
+        TELEMETRY.record("vm.run_seconds", duration)
+        TELEMETRY.event(
+            "vm.run", program=self.program.name,
+            instructions=result.instructions, duration_s=duration,
+            instructions_per_second=(result.instructions / duration
+                                     if duration > 0 else None),
+            traced=self.trace_enabled)
+        return result
+
+    def _run(self):
         program = self.program
         code = _decode(program)
         tables = [table.entries for table in program.jump_tables]

@@ -59,3 +59,62 @@ def test_main_report_to_file(tmp_path, monkeypatch, capsys):
     for section in ("Table 3", "Headline", "Storage"):
         assert section in text
     assert "wrote" in capsys.readouterr().out
+
+
+def test_main_stats_attribution(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    exit_code = main(["stats", "wc", "--scale", "0.05", "--runs", "1",
+                      "--limit", "5"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Mispredict attribution — wc" in out
+    assert "SBTB" in out and "CBTB" in out and "FS" in out
+    assert "worst" in out
+
+
+def test_main_stats_json(capsys, tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    exit_code = main(["stats", "wc", "--scale", "0.05", "--runs", "1",
+                      "--json"])
+    assert exit_code == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["benchmark"] == "wc"
+    assert data["schemes"] == ["SBTB", "CBTB", "FS"]
+    assert data["sites"]
+    assert set(data["sites"][0]["accuracy"]) == {"SBTB", "CBTB", "FS"}
+
+
+def test_main_profile_with_telemetry(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    log = tmp_path / "events.jsonl"
+    exit_code = main(["profile", "wc", "--scale", "0.05", "--runs", "1",
+                      "--telemetry", "--telemetry-log", str(log)])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    assert "profile of wc" in captured.out
+    assert "telemetry spans" in captured.out
+    assert str(log) in captured.err
+    assert log.exists()
+    from repro.telemetry.core import TELEMETRY
+
+    assert TELEMETRY.enabled is False  # main() restores the default
+
+
+def test_main_cache_listing(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["cache"]) == 0
+    assert "empty" in capsys.readouterr().out
+    main(["table1", "--scale", "0.05", "--runs", "1",
+          "--benchmarks", "wc"])
+    capsys.readouterr()
+    assert main(["cache"]) == 0
+    out = capsys.readouterr().out
+    assert "wc-s0_05-r1" in out
+    assert "scale 0.05" in out
+
+
+def test_main_rejects_target_for_tables():
+    with pytest.raises(SystemExit):
+        main(["table1", "wc"])

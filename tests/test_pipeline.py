@@ -204,3 +204,50 @@ def test_cycle_stats_repr():
     stats = CycleSimulator(PipelineConfig(1, 1, 1), SimpleBTB()).run(trace)
     assert "CycleStats" in repr(stats)
     assert stats.cycles_per_instruction >= 1.0
+
+
+def test_cycle_stats_zero_instruction_edges():
+    """The ratio properties are defined (0.0) on degenerate runs."""
+    from repro.pipeline.cycle_sim import CycleStats
+
+    empty = CycleStats(cycles=0, instructions=0, branches=0,
+                       squashed_cycles=0, mispredictions=0, fill_cycles=0)
+    assert empty.cycles_per_instruction == 0.0
+    assert empty.cost_per_branch == 0.0
+    assert empty.squashed_by_class == {}
+    assert empty.squashed_conditional == 0
+    assert empty.squashed_unconditional == 0
+
+    # Fill cycles but no retired instructions: still no division error.
+    fill_only = CycleStats(cycles=3, instructions=0, branches=0,
+                           squashed_cycles=0, mispredictions=0,
+                           fill_cycles=3)
+    assert fill_only.cycles_per_instruction == 0.0
+    assert fill_only.cost_per_branch == 0.0
+
+
+def test_cycle_stats_branchless_run():
+    """Branches without squash: cost/branch is exactly 1."""
+    from repro.pipeline.cycle_sim import CycleStats
+
+    stats = CycleStats(cycles=105, instructions=100, branches=10,
+                       squashed_cycles=0, mispredictions=0, fill_cycles=5)
+    assert stats.cost_per_branch == 1.0
+    assert stats.cycles_per_instruction == 1.05
+
+
+def test_cycle_sim_squash_attribution_by_class():
+    """Per-class squash cycles partition the total squash count."""
+    from repro.vm.tracing import BranchClass
+
+    trace = _trace()
+    stats = CycleSimulator(PipelineConfig(1, 1, 1),
+                           AlwaysNotTaken()).run(trace)
+    assert stats.squashed_cycles > 0
+    assert sum(stats.squashed_by_class.values()) == stats.squashed_cycles
+    assert (stats.squashed_conditional + stats.squashed_unconditional
+            == stats.squashed_cycles)
+    # Conditional mispredicts resolve in execute: penalty k+l+m each.
+    config = PipelineConfig(1, 1, 1)
+    cond = stats.squashed_by_class.get(BranchClass.CONDITIONAL, 0)
+    assert cond % (config.k + config.l + config.m) == 0
