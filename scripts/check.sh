@@ -27,6 +27,21 @@ if [ "$run_lint" = 1 ]; then
 fi
 
 echo "== tier-1 tests =="
-PYTHONPATH=src python -m pytest -x -q
+# Coverage gate when pytest-cov is available (the container may not
+# ship it; the plain run is the same test suite either way).
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    PYTHONPATH=src python -m pytest -x -q \
+        --cov=repro --cov-report=term-missing:skip-covered \
+        --cov-fail-under=70
+else
+    echo "   (pytest-cov not installed: coverage gate skipped)"
+    PYTHONPATH=src python -m pytest -x -q
+fi
+
+echo "== conformance smoke =="
+# Small seed budget: differential replay of every predictor against
+# its reference oracle plus the golden-table regression.  The full
+# battery is `repro-branches conformance --seeds 200`.
+PYTHONPATH=src python -m repro conformance --seeds 25
 
 echo "== all checks passed =="

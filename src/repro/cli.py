@@ -58,7 +58,8 @@ def build_parser():
     parser.add_argument("experiment",
                         choices=sorted(_EXPERIMENTS) + ["all", "trace",
                                                         "lint", "stats",
-                                                        "profile", "cache"],
+                                                        "profile", "cache",
+                                                        "conformance"],
                         help="which table/figure to regenerate; 'report' "
                              "renders everything as markdown; 'trace' "
                              "dumps a benchmark's branch trace; 'stats' "
@@ -68,7 +69,12 @@ def build_parser():
                              "cache artifacts and their manifests; 'lint' "
                              "runs the IR verifier over benchmark programs "
                              "(or an assembled --file) and exits non-zero "
-                             "on errors")
+                             "on errors; 'conformance' replays fuzzed "
+                             "traces through every predictor and its "
+                             "reference oracle, cross-checks the cycle "
+                             "simulator, and regresses the tables against "
+                             "the paper's values and the committed golden "
+                             "file (exits non-zero on any divergence)")
     parser.add_argument("target", nargs="?", default=None,
                         help="benchmark name for 'stats', 'profile' and "
                              "'trace' (default wc)")
@@ -102,6 +108,16 @@ def build_parser():
     parser.add_argument("--json", action="store_true",
                         help="for 'stats' and 'cache': emit the "
                              "machine-readable JSON payload")
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="for 'conformance': fuzz seeds to replay "
+                             "differentially (default 50)")
+    parser.add_argument("--update-golden", action="store_true",
+                        help="for 'conformance': re-measure the pinned "
+                             "configuration and rewrite the committed "
+                             "golden file before checking")
+    parser.add_argument("--skip-golden", action="store_true",
+                        help="for 'conformance': differential replay "
+                             "only, no paper-band/golden-table checks")
     parser.add_argument("--telemetry", dest="telemetry",
                         action="store_true", default=False,
                         help="enable the telemetry registry (spans, "
@@ -245,7 +261,21 @@ def main(argv=None):
         return 0
 
     event_log = _enable_telemetry(args) if args.telemetry else None
+    exit_code = 0
     try:
+        if args.experiment == "conformance":
+            from repro.conformance import run_conformance, write_golden
+
+            if args.update_golden:
+                golden_path = write_golden(cache=not args.no_cache)
+                print("wrote %s" % golden_path, file=sys.stderr)
+            report = run_conformance(seeds=args.seeds,
+                                     golden=not args.skip_golden,
+                                     cache=not args.no_cache)
+            text = report.render()
+            exit_code = 0 if report.ok else 1
+            _write_output(text, args.output)
+            return exit_code
         runner = SuiteRunner(scale=args.scale, runs=args.runs,
                              cache_dir=False if args.no_cache else None,
                              verify=args.verify, event_log=event_log)

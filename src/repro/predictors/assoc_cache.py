@@ -4,6 +4,16 @@ Backs both BTB schemes.  Fully associative by default (the paper's
 configuration); bounded set-associativity is available for the
 feasibility ablation the paper alludes to ("with 256 entries, it may
 not be feasible to implement full associativity").
+
+Recency policy (the determinism contract the conformance oracles
+encode): exactly two operations refresh an entry's recency —
+:meth:`lookup` (the predict path) and :meth:`insert` of a *new* key.
+Everything else (:meth:`peek`, :meth:`replace`, :meth:`contains`,
+:meth:`items`, :meth:`lru_order`) leaves the order untouched, so the
+differential replay engine can snapshot buffer state mid-replay
+without perturbing it, and ties never arise: recency is a total order
+(every refresh moves the key to the MRU end of its set's OrderedDict,
+and keys never refreshed keep their insertion order).
 """
 
 from collections import OrderedDict
@@ -53,6 +63,29 @@ class AssociativeCache:
             return None
         bucket.move_to_end(key)
         return value
+
+    def peek(self, key):
+        """Return the stored value without refreshing LRU order.
+
+        The update path and state-snapshotting use this: observing the
+        buffer must not change the replacement decision.
+        """
+        return self._set_for(key).get(key)
+
+    def replace(self, key, value):
+        """Overwrite ``key``'s value in place, keeping its recency.
+
+        Returns True when the key was present (and replaced); False
+        leaves the cache untouched — callers insert explicitly, so an
+        allocation is always a deliberate recency event.
+        """
+        if value is None:
+            raise ValueError("None values are reserved for misses")
+        bucket = self._set_for(key)
+        if key not in bucket:
+            return False
+        bucket[key] = value
+        return True
 
     def contains(self, key):
         """Membership test without touching LRU order."""
@@ -111,6 +144,17 @@ class AssociativeCache:
     def items(self):
         for bucket in self._sets:
             yield from bucket.items()
+
+    def lru_order(self):
+        """The canonical replacement order, as a tuple of keys.
+
+        Per set, keys run LRU-first to MRU-last (the eviction victim of
+        each set is its first listed key); sets are concatenated in set
+        index order.  Two caches that report equal ``lru_order`` make
+        identical future replacement decisions — the bit-for-bit
+        reproducibility witness the differential engine compares.
+        """
+        return tuple(key for bucket in self._sets for key in bucket)
 
     def __repr__(self):
         return "AssociativeCache(%d entries, %d-way, %d used)" % (

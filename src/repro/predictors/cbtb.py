@@ -53,7 +53,10 @@ class CounterBTB(Predictor):
         return Prediction(False, hit=True)
 
     def update(self, site, branch_class, taken, target):
-        entry = self._cache.lookup(site)
+        # peek, not lookup: the predict path already refreshed this
+        # entry's recency; the update mutates counter/target in place
+        # without a second (order-perturbing) touch.
+        entry = self._cache.peek(site)
         if entry is None:
             counter = self.threshold if taken else self.threshold - 1
             self._cache.insert(site, _Entry(counter, target))

@@ -27,7 +27,11 @@ class SimpleBTB(Predictor):
 
     def update(self, site, branch_class, taken, target):
         if taken:
-            self._cache.insert(site, target)
+            # Only the predict-path lookup and a fresh allocation count
+            # as recency events (the assoc_cache contract): a resident
+            # entry keeps its order, its target refreshed in place.
+            if not self._cache.replace(site, target):
+                self._cache.insert(site, target)
         else:
             # Predicted taken (if it was in the buffer) but fell
             # through: the paper deletes the entry.

@@ -118,3 +118,40 @@ def test_main_cache_listing(capsys, tmp_path, monkeypatch):
 def test_main_rejects_target_for_tables():
     with pytest.raises(SystemExit):
         main(["table1", "wc"])
+
+
+def test_main_conformance_differential_only(capsys):
+    exit_code = main(["conformance", "--seeds", "5", "--skip-golden"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "5 seeds x 3 oracles" in out
+    assert "zero divergences" in out
+    assert "golden tables: skipped" in out
+    assert "RESULT: PASS" in out
+
+
+def test_main_conformance_full(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    exit_code = main(["conformance", "--seeds", "3"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "paper tolerance bands: pass" in out
+    assert "golden tables: pass" in out
+
+
+def test_main_conformance_with_telemetry(capsys, tmp_path, monkeypatch):
+    import json as json_module
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    log = tmp_path / "events.jsonl"
+    exit_code = main(["conformance", "--seeds", "2", "--skip-golden",
+                      "--telemetry", "--telemetry-log", str(log)])
+    assert exit_code == 0
+    events = [json_module.loads(line)
+              for line in log.read_text().splitlines()]
+    names = {event.get("name") for event in events}
+    assert "conformance.result" in names
+    assert "conformance.differential" in names
+    from repro.telemetry.core import TELEMETRY
+
+    assert TELEMETRY.enabled is False
