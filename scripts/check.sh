@@ -44,4 +44,11 @@ echo "== conformance smoke =="
 # battery is `repro-branches conformance --seeds 200`.
 PYTHONPATH=src python -m repro conformance --seeds 25
 
+echo "== fault-injection smoke =="
+# Seeded recovery matrix: every fault class (torn write, bit flip,
+# ENOSPC, worker crash, worker hang, corrupt manifest) is injected
+# deterministically and must end in a verified recovery — the gate
+# fails if any injected fault is silently swallowed.
+PYTHONPATH=src python -m repro faults --seeds 10
+
 echo "== all checks passed =="

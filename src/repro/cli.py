@@ -14,6 +14,7 @@ Examples::
 """
 
 import argparse
+import os
 import sys
 
 from repro.experiments import (
@@ -49,6 +50,14 @@ _ORDER = ("table1", "table2", "table3", "table4", "table5", "figures",
 #: Subcommands that accept an optional benchmark name positionally.
 _TARGETED = ("stats", "profile", "trace")
 
+#: Subcommands that never touch the trace cache directory.
+_CACHELESS = ("lint", "cache", "faults")
+
+#: Distinct exit codes (0 = success, 1 = the experiment itself
+#: reported failures, e.g. lint errors or conformance divergence).
+EXIT_BAD_ARGUMENT = 2
+EXIT_CACHE_UNWRITABLE = 3
+
 
 def build_parser():
     parser = argparse.ArgumentParser(
@@ -59,7 +68,8 @@ def build_parser():
                         choices=sorted(_EXPERIMENTS) + ["all", "trace",
                                                         "lint", "stats",
                                                         "profile", "cache",
-                                                        "conformance"],
+                                                        "conformance",
+                                                        "faults"],
                         help="which table/figure to regenerate; 'report' "
                              "renders everything as markdown; 'trace' "
                              "dumps a benchmark's branch trace; 'stats' "
@@ -74,7 +84,12 @@ def build_parser():
                              "reference oracle, cross-checks the cycle "
                              "simulator, and regresses the tables against "
                              "the paper's values and the committed golden "
-                             "file (exits non-zero on any divergence)")
+                             "file (exits non-zero on any divergence); "
+                             "'faults' runs the seeded fault-injection "
+                             "recovery matrix (torn writes, bit flips, "
+                             "ENOSPC, worker crash/hang, corrupt "
+                             "manifests) and exits non-zero if any "
+                             "injected fault is silently swallowed")
     parser.add_argument("target", nargs="?", default=None,
                         help="benchmark name for 'stats', 'profile' and "
                              "'trace' (default wc)")
@@ -108,9 +123,16 @@ def build_parser():
     parser.add_argument("--json", action="store_true",
                         help="for 'stats' and 'cache': emit the "
                              "machine-readable JSON payload")
-    parser.add_argument("--seeds", type=int, default=50,
+    parser.add_argument("--seeds", type=int, default=None,
                         help="for 'conformance': fuzz seeds to replay "
-                             "differentially (default 50)")
+                             "differentially (default 50); for "
+                             "'faults': seeds per fault kind "
+                             "(default 5)")
+    parser.add_argument("--no-resume", dest="resume",
+                        action="store_false", default=True,
+                        help="for 'all' and 'report': ignore (and "
+                             "overwrite) the sweep checkpoint instead "
+                             "of resuming completed tables from it")
     parser.add_argument("--update-golden", action="store_true",
                         help="for 'conformance': re-measure the pinned "
                              "configuration and rewrite the committed "
@@ -217,6 +239,92 @@ def _lint(names, file_path, show_warnings=True):
     return "\n".join(lines) + "\n", 1 if error_count else 0
 
 
+def _usage_error(message):
+    """One-line diagnostic on stderr; returns the bad-argument code."""
+    print("repro-branches: error: %s" % message, file=sys.stderr)
+    return EXIT_BAD_ARGUMENT
+
+
+def _validate_args(args):
+    """Validate numeric inputs and cache-dir writability.
+
+    Returns an exit code (non-zero stops ``main``) — a clear one-line
+    error beats a traceback from five layers down.
+    """
+    if args.scale <= 0:
+        return _usage_error("--scale must be > 0 (got %g)" % args.scale)
+    if args.runs is not None and args.runs < 1:
+        return _usage_error("--runs must be >= 1 (got %d)" % args.runs)
+    if args.workers < 1:
+        return _usage_error("--workers must be >= 1 (got %d)"
+                            % args.workers)
+    if args.seeds is not None and args.seeds < 1:
+        return _usage_error("--seeds must be >= 1 (got %d)" % args.seeds)
+    if args.limit < 1:
+        return _usage_error("--limit must be >= 1 (got %d)" % args.limit)
+    if not args.no_cache and args.experiment not in _CACHELESS:
+        from repro.experiments.runner import default_cache_dir
+
+        directory = default_cache_dir()
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            print("repro-branches: error: cache directory %s cannot "
+                  "be created: %s (use --no-cache or set "
+                  "REPRO_CACHE_DIR)" % (directory, error),
+                  file=sys.stderr)
+            return EXIT_CACHE_UNWRITABLE
+        if not os.access(directory, os.W_OK):
+            print("repro-branches: error: cache directory %s is not "
+                  "writable (use --no-cache or set REPRO_CACHE_DIR)"
+                  % directory, file=sys.stderr)
+            return EXIT_CACHE_UNWRITABLE
+    return 0
+
+
+def _sweep_checkpoint(runner, names, sections, label, resume):
+    """The checkpoint for a multi-table sweep, or None when disabled."""
+    if not resume or runner.cache_dir is None:
+        return None
+    from repro.experiments.runner import CACHE_FORMAT_VERSION
+    from repro.resilience.checkpoint import (
+        SweepCheckpoint,
+        sweep_fingerprint,
+    )
+
+    fingerprint = sweep_fingerprint(sections, runner.scale, runner.runs,
+                                    names, CACHE_FORMAT_VERSION)
+    path = (runner.cache_dir / "checkpoints"
+            / ("%s-%s.json" % (label, fingerprint)))
+    return SweepCheckpoint(path, fingerprint)
+
+
+def _render_all(runner, names, resume):
+    """Render every table, resuming from the sweep checkpoint.
+
+    Each completed section's text is persisted (atomically) as soon as
+    it is rendered, so a killed campaign restarts at the first
+    incomplete table instead of from scratch.
+    """
+    checkpoint = _sweep_checkpoint(runner, names, _ORDER, "all", resume)
+    done = checkpoint.load() if checkpoint else {}
+    if done:
+        print("resuming sweep: %d/%d tables from checkpoint"
+              % (len(done), len(_ORDER)), file=sys.stderr)
+    parts = []
+    for key in _ORDER:
+        if key in done:
+            text = done[key]
+        else:
+            text = _EXPERIMENTS[key](runner, names)
+            if checkpoint is not None:
+                checkpoint.record(key, text)
+        parts.append(text)
+    if checkpoint is not None:
+        checkpoint.clear()
+    return "\n".join(parts)
+
+
 def _write_output(text, output):
     if output:
         with open(output, "w") as handle:
@@ -249,6 +357,9 @@ def main(argv=None):
     if args.target and args.experiment not in _TARGETED:
         parser.error("benchmark target only applies to %s"
                      % "/".join(_TARGETED))
+    invalid = _validate_args(args)
+    if invalid:
+        return invalid
     if args.experiment == "lint":
         text, exit_code = _lint(args.benchmarks, args.file,
                                 show_warnings=not args.no_warnings)
@@ -269,10 +380,24 @@ def main(argv=None):
             if args.update_golden:
                 golden_path = write_golden(cache=not args.no_cache)
                 print("wrote %s" % golden_path, file=sys.stderr)
-            report = run_conformance(seeds=args.seeds,
-                                     golden=not args.skip_golden,
-                                     cache=not args.no_cache)
+            report = run_conformance(
+                seeds=50 if args.seeds is None else args.seeds,
+                golden=not args.skip_golden,
+                cache=not args.no_cache)
             text = report.render()
+            exit_code = 0 if report.ok else 1
+            _write_output(text, args.output)
+            return exit_code
+        if args.experiment == "faults":
+            import json as json_module
+
+            from repro.resilience.harness import run_fault_matrix
+
+            report = run_fault_matrix(
+                seeds=5 if args.seeds is None else args.seeds)
+            text = (json_module.dumps(report.to_dict(), indent=2,
+                                      sort_keys=True) + "\n"
+                    if args.json else report.render())
             exit_code = 0 if report.ok else 1
             _write_output(text, args.output)
             return exit_code
@@ -284,9 +409,18 @@ def main(argv=None):
             from repro.benchmarksuite import ALL_BENCHMARK_NAMES
             runner.run_all(names or ALL_BENCHMARK_NAMES,
                            workers=args.workers)
+            report = runner.last_warm_report
+            if report is not None and not report.ok:
+                print("warm workers: %s" % report.render(),
+                      file=sys.stderr)
         if args.experiment == "all":
-            text = "\n".join(_EXPERIMENTS[key](runner, names)
-                             for key in _ORDER)
+            text = _render_all(runner, names, args.resume)
+        elif args.experiment == "report":
+            checkpoint = _sweep_checkpoint(
+                runner, names, [title for title, _ in summary.SECTIONS],
+                "report", args.resume)
+            text = summary.generate(runner, names,
+                                    checkpoint=checkpoint)
         elif args.experiment == "trace":
             text = _dump_trace(runner, names, args.limit)
         elif args.experiment == "stats":

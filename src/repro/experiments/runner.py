@@ -15,6 +15,17 @@ Steps 2 and 4 dominate the cost, so their outputs (profile JSON and
 trace arrays) are cached on disk keyed by benchmark, scale, run count,
 and a format version.  Everything else is recomputed deterministically
 from those artifacts.
+
+The cache is crash-safe (see :mod:`repro.resilience` and
+docs/RESILIENCE.md): every artifact is written atomically with its
+sha256 recorded in the run manifest and verified on load; artifacts
+that fail checksum or parse are quarantined to ``*.corrupt`` and
+recomputed once; an inter-process lock per cache stem keeps concurrent
+warm workers from tearing (or double-computing) the same entry; and
+the parallel warm path is supervised — per-benchmark timeouts, bounded
+retries with jittered backoff, and a typed
+:class:`~repro.resilience.supervisor.RunReport` instead of one worker
+failure killing the campaign.
 """
 
 import contextlib
@@ -23,6 +34,7 @@ import json
 import os
 import re
 import time
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -30,6 +42,18 @@ import numpy as np
 from repro.benchmarksuite import get_benchmark
 from repro.lang import compile_source
 from repro.profiling import Profile, profile_program
+from repro.resilience.errors import (
+    CacheCorruptError,
+    LockTimeout,
+    ManifestError,
+)
+from repro.resilience.store import (
+    StemLock,
+    atomic_write_npz,
+    atomic_write_text,
+    quarantine,
+    verify_checksum,
+)
 from repro.telemetry.core import TELEMETRY
 from repro.telemetry.manifest import (
     RunManifest,
@@ -45,10 +69,12 @@ from repro.predictors import (
 )
 from repro.vm import BranchTrace, run_program
 
-# Version 2: cache entries gained a sibling run-manifest JSON; bumping
-# regenerates pre-manifest caches (and emits a cache.invalidated event
-# for each one found).
-CACHE_FORMAT_VERSION = 2
+# Version 3: manifests record per-artifact sha256 checksums (manifest
+# schema 2) that cache loads verify; entries are written atomically
+# under a per-stem lock.  Version 2 entries lack checksums, so the
+# bump regenerates them (emitting a cache.invalidated event for each
+# one found).
+CACHE_FORMAT_VERSION = 3
 
 _VERSION_IN_STEM = re.compile(r"-v(\d+)-")
 
@@ -161,8 +187,13 @@ def list_cache_entries(cache_dir=None):
 
     Groups the ``.npz`` trace, ``.json`` profile, and
     ``.manifest.json`` of each cache stem; returns a list of dicts
-    (sorted by stem) with sizes, the current-version flag, and the
-    parsed manifest when one exists.
+    (sorted by stem) with sizes, the current-version flag, a
+    ``status`` field, and the parsed manifest when one parses.
+
+    Damage never raises: a malformed or truncated manifest reports the
+    entry with ``status: "corrupt"`` (manifest ``None``); a missing
+    manifest reports ``status: "no-manifest"`` — so the listing works
+    on a damaged cache directory instead of crashing on it.
     """
     cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
     entries = []
@@ -172,16 +203,21 @@ def list_cache_entries(cache_dir=None):
         stem = trace_path.stem
         profile_path = trace_path.with_suffix(".json")
         manifest_path = manifest_path_for(trace_path)
-        size = trace_path.stat().st_size
-        if profile_path.exists():
-            size += profile_path.stat().st_size
+        size = 0
+        for path in (trace_path, profile_path, manifest_path):
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
         manifest = None
+        status = "ok"
         if manifest_path.exists():
-            size += manifest_path.stat().st_size
             try:
                 manifest = RunManifest.load(manifest_path)
-            except (OSError, ValueError, KeyError):
-                manifest = None
+            except ManifestError:
+                status = "corrupt"
+        else:
+            status = "no-manifest"
         match = _VERSION_IN_STEM.search(trace_path.name)
         version = int(match.group(1)) if match else None
         entries.append({
@@ -190,6 +226,7 @@ def list_cache_entries(cache_dir=None):
             "size_bytes": size,
             "format_version": version,
             "current": version == CACHE_FORMAT_VERSION,
+            "status": status,
             "manifest": manifest,
         })
     return entries
@@ -210,11 +247,21 @@ class SuiteRunner:
         event_log: path of the telemetry JSONL event log this run
             writes to (recorded in run manifests); None when telemetry
             is off or in-memory.
+        warm_timeout: per-benchmark wall-clock limit for supervised
+            warm workers (a hung worker is killed and retried).
+        warm_retries: extra attempts a warm worker gets after dying.
+        lock_timeout: how long to wait on another process's stem lock
+            before degrading to an uncached in-process compute.
+
+    After a parallel ``run_all``, :attr:`last_warm_report` holds the
+    supervised warm's :class:`~repro.resilience.supervisor.RunReport`
+    (succeeded / retried / failed per benchmark).
     """
 
     def __init__(self, scale=1.0, runs=None, cache_dir=None,
                  max_instructions=500_000_000, verify=True,
-                 event_log=None):
+                 event_log=None, warm_timeout=600.0, warm_retries=2,
+                 lock_timeout=600.0):
         self.scale = scale
         self.runs = runs
         if cache_dir is False:
@@ -224,6 +271,10 @@ class SuiteRunner:
         self.max_instructions = max_instructions
         self.verify = verify
         self.event_log = str(event_log) if event_log else None
+        self.warm_timeout = warm_timeout
+        self.warm_retries = warm_retries
+        self.lock_timeout = lock_timeout
+        self.last_warm_report = None
         self._memo = {}
         self._git_sha = _UNSET
 
@@ -276,6 +327,100 @@ class SuiteRunner:
             self._git_sha = git_sha(Path(__file__).resolve().parents[3])
         return self._git_sha
 
+    # -- crash-safe cache load/store ----------------------------------------
+
+    def _load_cache_entry(self, name, trace_path, profile_path):
+        """(profile, trace, manifest) from disk, or (None, None, None).
+
+        An entry is a **miss** when none of its three files exist; it
+        is **corrupt** — quarantined and reported, then treated as a
+        miss — when the files are incomplete, the manifest does not
+        parse, a checksum disagrees, or an artifact fails to parse.
+        Only the typed taxonomy is caught here; a genuine bug still
+        raises.
+        """
+        manifest_path = manifest_path_for(trace_path)
+        paths = (trace_path, profile_path, manifest_path)
+        if not any(path.exists() for path in paths):
+            return None, None, None
+        try:
+            for path in paths:
+                if not path.exists():
+                    raise CacheCorruptError(
+                        str(trace_path),
+                        "incomplete entry: %s missing" % path.name)
+            manifest = RunManifest.load(manifest_path)
+            for key, path in (("trace", trace_path),
+                              ("profile", profile_path)):
+                expected = manifest.checksums.get(key)
+                if not expected:
+                    raise CacheCorruptError(
+                        str(path), "no recorded checksum for %r" % key)
+                if not verify_checksum(path, expected):
+                    raise CacheCorruptError(
+                        str(path),
+                        "checksum mismatch (expected %s)" % expected)
+            try:
+                with np.load(trace_path) as arrays:
+                    trace = BranchTrace.from_arrays(arrays)
+                profile = Profile.from_dict(
+                    json.loads(profile_path.read_text()))
+            except (OSError, ValueError, KeyError,
+                    zipfile.BadZipFile) as error:
+                raise CacheCorruptError(
+                    str(trace_path),
+                    "artifact parse failed: %s" % error) from error
+        except (CacheCorruptError, ManifestError) as error:
+            self._quarantine_entry(name, paths, error)
+            return None, None, None
+        return profile, trace, manifest
+
+    def _quarantine_entry(self, name, paths, error):
+        """Move a damaged entry aside so it is recomputed exactly once."""
+        TELEMETRY.count("runner.cache.corrupt")
+        TELEMETRY.event("cache.corrupt", benchmark=name,
+                        path=str(paths[0]),
+                        error=type(error).__name__,
+                        reason=str(error))
+        for path in paths:
+            quarantine(path, reason=str(error), benchmark=name)
+
+    def _store_cache_entry(self, name, n_runs, trace_path, profile_path,
+                           profile, trace, stages):
+        """Atomically persist an entry; returns its manifest.
+
+        All three files are written via the crash-safe store; the
+        manifest carries the artifact checksums.  An ``OSError`` (full
+        disk, permissions) degrades gracefully: the partial entry is
+        removed so nothing torn survives, a ``cache.store_failed``
+        event records why, and the caller keeps the in-memory result.
+        """
+        manifest_path = manifest_path_for(trace_path)
+        try:
+            with _stage(stages, "cache_store", name):
+                checksums = {
+                    "trace": atomic_write_npz(trace_path,
+                                              trace.to_arrays()),
+                    "profile": atomic_write_text(
+                        profile_path, json.dumps(profile.to_dict())),
+                }
+            manifest = self._build_manifest(name, n_runs, trace_path,
+                                            profile_path, stages,
+                                            checksums=checksums)
+            manifest.write(manifest_path)
+            return manifest
+        except OSError as error:
+            for path in (trace_path, profile_path, manifest_path):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            TELEMETRY.count("runner.cache.store_failed")
+            TELEMETRY.event("cache.store_failed", benchmark=name,
+                            path=str(trace_path), error=str(error))
+            return self._build_manifest(name, n_runs, trace_path,
+                                        profile_path, stages)
+
     # -- execution ------------------------------------------------------------
 
     def run(self, name):
@@ -295,19 +440,10 @@ class SuiteRunner:
         profile = None
         trace = None
         manifest = None
-        if trace_path is not None and trace_path.exists() and profile_path.exists():
-            try:
-                with _stage(stages, "cache_load", name):
-                    with np.load(trace_path) as arrays:
-                        trace = BranchTrace.from_arrays(arrays)
-                    profile = Profile.from_dict(
-                        json.loads(profile_path.read_text()))
-            except Exception:
-                trace = None
-                profile = None
-                TELEMETRY.count("runner.cache.corrupt")
-                TELEMETRY.event("cache.corrupt", benchmark=name,
-                                path=str(trace_path))
+        if trace_path is not None:
+            with _stage(stages, "cache_load", name):
+                profile, trace, manifest = self._load_cache_entry(
+                    name, trace_path, profile_path)
 
         cache_hit = trace is not None and profile is not None
         TELEMETRY.count("runner.cache.hit" if cache_hit
@@ -315,19 +451,11 @@ class SuiteRunner:
         if cache_hit:
             TELEMETRY.event("cache.hit", benchmark=name,
                             path=str(trace_path))
-            manifest_path = manifest_path_for(trace_path)
-            if manifest_path.exists():
-                try:
-                    manifest = RunManifest.load(manifest_path)
-                except (OSError, ValueError, KeyError):
-                    manifest = None
-        else:
+        elif trace_path is None:
             profile, trace = self._execute(spec, program, n_runs, stages)
-            if trace_path is not None:
-                with _stage(stages, "cache_store", name):
-                    self.cache_dir.mkdir(parents=True, exist_ok=True)
-                    np.savez_compressed(trace_path, **trace.to_arrays())
-                    profile_path.write_text(json.dumps(profile.to_dict()))
+        else:
+            profile, trace, manifest = self._compute_locked(
+                spec, program, n_runs, trace_path, profile_path, stages)
 
         with _stage(stages, "layout", name):
             layout = build_fs_program(program, profile, verify=self.verify)
@@ -335,16 +463,49 @@ class SuiteRunner:
         if manifest is None:
             manifest = self._build_manifest(name, n_runs, trace_path,
                                             profile_path, stages)
-            if trace_path is not None and not cache_hit:
-                manifest.write(manifest_path_for(trace_path))
 
         run = BenchmarkRun(name, spec, program, layout, profile, trace,
                            self.scale, n_runs, manifest=manifest)
         self._memo[name] = run
         return run
 
+    def _compute_locked(self, spec, program, n_runs, trace_path,
+                        profile_path, stages):
+        """Compute + store one entry under its inter-process stem lock.
+
+        The lock serialises concurrent warmers of the *same* benchmark
+        (different stems proceed in parallel): the first holder
+        computes and stores; later holders find the finished entry on
+        re-check and load it, so the work happens once and the entry
+        is written exactly once.  A lock that cannot be acquired
+        within ``lock_timeout`` (a wedged peer) degrades to an
+        uncached in-process compute instead of blocking the campaign.
+        """
+        name = spec.name
+        lock = StemLock(self.cache_dir, trace_path.stem,
+                        timeout=self.lock_timeout)
+        try:
+            with lock:
+                profile, trace, manifest = self._load_cache_entry(
+                    name, trace_path, profile_path)
+                if trace is not None:
+                    TELEMETRY.event("cache.hit", benchmark=name,
+                                    path=str(trace_path),
+                                    after_lock_wait=True)
+                    return profile, trace, manifest
+                profile, trace = self._execute(spec, program, n_runs,
+                                               stages)
+                manifest = self._store_cache_entry(
+                    name, n_runs, trace_path, profile_path, profile,
+                    trace, stages)
+                return profile, trace, manifest
+        except LockTimeout:
+            profile, trace = self._execute(spec, program, n_runs,
+                                           stages)
+            return profile, trace, None
+
     def _build_manifest(self, name, n_runs, trace_path, profile_path,
-                        stages):
+                        stages, checksums=None):
         """The provenance record written beside the cache artifacts."""
         cache_key = trace_path.stem if trace_path is not None else None
         artifacts = {}
@@ -362,6 +523,7 @@ class SuiteRunner:
             stages=stages,
             event_log=self.event_log,
             artifacts=artifacts,
+            checksums=checksums,
         )
 
     def _execute(self, spec, program, n_runs, stages=None):
@@ -398,9 +560,14 @@ class SuiteRunner:
 
         Args:
             workers: when > 1 and the disk cache is enabled, warm the
-                cache with a process pool (each worker executes a
-                subset of benchmarks and writes its trace files), then
-                load everything in this process.  Serial otherwise.
+                cache with supervised worker processes (per-benchmark
+                timeout, bounded retries), then load everything in
+                this process.  Serial otherwise.
+
+        Warm failures never abort the sweep: a benchmark whose workers
+        kept dying is simply recomputed serially in-process here, and
+        :attr:`last_warm_report` says who needed retries or fell
+        through.
         """
         from repro.benchmarksuite import BENCHMARK_NAMES
         names = list(names or BENCHMARK_NAMES)
@@ -409,20 +576,30 @@ class SuiteRunner:
         return {name: self.run(name) for name in names}
 
     def _warm_parallel(self, names, workers):
-        import concurrent.futures
+        from repro.resilience.supervisor import run_supervised
 
         pending = [name for name in names if name not in self._memo]
         if not pending:
-            return
-        arguments = [
-            (name, self.scale, self.runs, str(self.cache_dir),
-             self.max_instructions)
+            return None
+        tasks = [
+            (name, (name, self.scale, self.runs, str(self.cache_dir),
+                    self.max_instructions))
             for name in pending
         ]
-        with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))) as pool:
-            # Any worker failure propagates here.
-            list(pool.map(_warm_cache_entry, arguments))
+        with TELEMETRY.span("runner.warm", benchmarks=len(pending),
+                            workers=workers):
+            report = run_supervised(
+                tasks, _warm_cache_entry,
+                workers=min(workers, len(pending)),
+                timeout=self.warm_timeout, retries=self.warm_retries,
+                backoff=0.25)
+        self.last_warm_report = report
+        if not report.ok:
+            TELEMETRY.count("runner.warm.partial_failures")
+            TELEMETRY.event("warm.partial_failure",
+                            failed=report.failed,
+                            degraded=report.degraded)
+        return report
 
 
 def _warm_cache_entry(arguments):

@@ -48,17 +48,28 @@ def _format_bytes(size):
 
 
 def render_cache(cache_dir=None, as_json=False):
-    """Inventory of cached artifacts with manifest metadata."""
-    from repro.experiments.runner import list_cache_entries
+    """Inventory of cached artifacts with manifest metadata.
+
+    Tolerates a damaged cache directory: entries whose manifest is
+    malformed or missing are listed with their ``status`` instead of
+    crashing the listing, and quarantined ``*.corrupt`` artifacts are
+    counted in the footer.
+    """
+    from repro.experiments.runner import default_cache_dir, list_cache_entries
+    from repro.resilience.store import list_quarantined
 
     entries = list_cache_entries(cache_dir)
+    quarantined = list_quarantined(cache_dir or default_cache_dir())
     if as_json:
-        payload = [dict(entry,
-                        manifest=(entry["manifest"].to_dict()
-                                  if entry["manifest"] else None))
-                   for entry in entries]
+        payload = {
+            "entries": [dict(entry,
+                             manifest=(entry["manifest"].to_dict()
+                                       if entry["manifest"] else None))
+                        for entry in entries],
+            "quarantined": [str(path) for path in quarantined],
+        }
         return json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    if not entries:
+    if not entries and not quarantined:
         return "trace cache is empty\n"
     lines = ["%-42s %10s %4s  %-10s %s"
              % ("cache entry", "size", "ver", "created", "run")]
@@ -67,7 +78,8 @@ def render_cache(cache_dir=None, as_json=False):
         total += entry["size_bytes"]
         manifest = entry["manifest"]
         created = ""
-        run_summary = "(no manifest)"
+        run_summary = "(%s)" % entry["status"] \
+            if entry["status"] != "ok" else "(no manifest)"
         if manifest is not None:
             created = (manifest.created or "")[:10]
             sha = (manifest.git_sha or "")[:8] or "no-git"
@@ -82,9 +94,13 @@ def render_cache(cache_dir=None, as_json=False):
         lines.append("%-42s %10s %4s  %-10s %s" % (
             entry["stem"], _format_bytes(entry["size_bytes"]), version,
             created, run_summary))
-    lines.append("%d entr%s, %s total ('!' marks stale format versions)"
-                 % (len(entries), "y" if len(entries) == 1 else "ies",
-                    _format_bytes(total)))
+    footer = ("%d entr%s, %s total ('!' marks stale format versions)"
+              % (len(entries), "y" if len(entries) == 1 else "ies",
+                 _format_bytes(total)))
+    if quarantined:
+        footer += ", %d quarantined artifact%s" % (
+            len(quarantined), "" if len(quarantined) == 1 else "s")
+    lines.append(footer)
     return "\n".join(lines) + "\n"
 
 

@@ -11,7 +11,7 @@ from repro.experiments import (
     table5,
 )
 
-_SECTIONS = (
+SECTIONS = (
     ("Table 1 — benchmark characteristics", table1),
     ("Table 2 — branch statistics", table2),
     ("Table 3 — branch prediction performance", table3),
@@ -23,8 +23,14 @@ _SECTIONS = (
 )
 
 
-def generate(runner, names=None):
-    """Render the complete reproduction report as markdown text."""
+def generate(runner, names=None, checkpoint=None):
+    """Render the complete reproduction report as markdown text.
+
+    With a :class:`~repro.resilience.checkpoint.SweepCheckpoint`, each
+    section's rendered body is persisted as soon as it is computed and
+    replayed from disk on the next attempt, so a killed campaign
+    resumes at the first incomplete section.
+    """
     parts = [
         "# Reproduction report",
         "",
@@ -36,13 +42,22 @@ def generate(runner, names=None):
             "default" if runner.runs is None else runner.runs),
         "",
     ]
-    for title, module in _SECTIONS:
+    done = checkpoint.load() if checkpoint is not None else {}
+    for title, module in SECTIONS:
+        if title in done:
+            body = done[title]
+        else:
+            body = module.render(runner, names).rstrip()
+            if checkpoint is not None:
+                checkpoint.record(title, body)
         parts.append("## %s" % title)
         parts.append("")
         parts.append("```")
-        parts.append(module.render(runner, names).rstrip())
+        parts.append(body)
         parts.append("```")
         parts.append("")
+    if checkpoint is not None:
+        checkpoint.clear()
     return "\n".join(parts)
 
 

@@ -1,0 +1,94 @@
+"""Resilience: crash-safe storage, supervision, fault injection.
+
+Long trace-driven campaigns die in boring ways — a truncated ``.npz``,
+a full disk, one hung warm worker — and before this package any of
+those killed an entire ``run_all`` sweep.  Five pieces (see
+docs/RESILIENCE.md for the full guide):
+
+* :mod:`repro.resilience.errors` — the typed failure taxonomy
+  (:class:`CacheCorruptError`, :class:`ManifestError`,
+  :class:`WorkerFailure`, ...), replacing blanket ``except Exception``
+  in the cache paths;
+* :mod:`repro.resilience.store` — atomic writes (temp + fsync +
+  ``os.replace``), sha256 checksums recorded in run manifests,
+  ``*.corrupt`` quarantine, and the inter-process :class:`StemLock`;
+* :mod:`repro.resilience.supervisor` — supervised parallel execution
+  with per-task timeouts, jittered-backoff retries, and a typed
+  :class:`RunReport` of partial failures;
+* :mod:`repro.resilience.checkpoint` — per-section checkpoint/resume
+  for multi-table sweeps;
+* :mod:`repro.resilience.faults` — the deterministic, seeded fault
+  injector (disabled by default, one attribute check when off) and
+  :mod:`repro.resilience.harness`, the recovery matrix behind
+  ``repro-branches faults``.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    SweepCheckpoint,
+    sweep_fingerprint,
+)
+from repro.resilience.errors import (
+    CacheCorruptError,
+    CheckpointError,
+    LockTimeout,
+    ManifestError,
+    ResilienceError,
+    WorkerFailure,
+)
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULTS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.resilience.store import (
+    QUARANTINE_SUFFIX,
+    StemLock,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    atomic_write_text,
+    data_checksum,
+    file_checksum,
+    list_quarantined,
+    quarantine,
+    verify_checksum,
+)
+from repro.resilience.supervisor import (
+    RunReport,
+    TaskOutcome,
+    run_supervised,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "SweepCheckpoint",
+    "sweep_fingerprint",
+    "CacheCorruptError",
+    "CheckpointError",
+    "LockTimeout",
+    "ManifestError",
+    "ResilienceError",
+    "WorkerFailure",
+    "FAULT_KINDS",
+    "FAULTS",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "QUARANTINE_SUFFIX",
+    "StemLock",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "atomic_write_text",
+    "data_checksum",
+    "file_checksum",
+    "list_quarantined",
+    "quarantine",
+    "verify_checksum",
+    "RunReport",
+    "TaskOutcome",
+    "run_supervised",
+]

@@ -8,28 +8,34 @@ available), per-stage wall-clock seconds, and the telemetry event-log
 path (when a run had one).  Any table or figure computed from the
 cache is thereby traceable to the run that produced it.
 
-The schema (``MANIFEST_VERSION`` 1)::
+The schema (``MANIFEST_VERSION`` 2)::
 
     {
-      "manifest_version": 1,
+      "manifest_version": 2,
       "benchmark": "wc",
-      "cache_key": "wc-s0_1-r2-v1-a1b2c3d4e5",
-      "format_version": 1,
+      "cache_key": "wc-s0_1-r2-v3-a1b2c3d4e5",
+      "format_version": 3,
       "config": {"scale": 0.1, "runs": 2, "max_instructions": ...,
                  "verify": true},
       "git_sha": "..." | null,
       "stages": {"compile": 0.012, "profile": 1.4, ...},
       "event_log": "path/to/telemetry.jsonl" | null,
       "artifacts": {"trace": "....npz", "profile": "....json"},
+      "checksums": {"trace": "sha256:...", "profile": "sha256:..."},
       "created": "2026-08-06T12:34:56+00:00"
     }
+
+Version 2 added ``checksums``: the sha256 of each artifact as written,
+verified on every cache load by the resilience layer (see
+docs/RESILIENCE.md) so torn writes and bit rot are caught and
+quarantined instead of silently poisoning later runs.
 """
 
 import datetime
 import json
 import subprocess
 
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
 
 
 def git_sha(root=None):
@@ -64,11 +70,12 @@ class RunManifest:
     """Provenance for one benchmark execution (see module docstring)."""
 
     __slots__ = ("benchmark", "cache_key", "format_version", "config",
-                 "git_sha", "stages", "event_log", "artifacts", "created")
+                 "git_sha", "stages", "event_log", "artifacts",
+                 "checksums", "created")
 
     def __init__(self, benchmark, cache_key, format_version, config,
                  git_sha=None, stages=None, event_log=None,
-                 artifacts=None, created=None):
+                 artifacts=None, checksums=None, created=None):
         self.benchmark = benchmark
         self.cache_key = cache_key
         self.format_version = format_version
@@ -77,6 +84,7 @@ class RunManifest:
         self.stages = dict(stages or {})
         self.event_log = event_log
         self.artifacts = dict(artifacts or {})
+        self.checksums = dict(checksums or {})
         if created is None:
             created = datetime.datetime.now(
                 datetime.timezone.utc).isoformat(timespec="seconds")
@@ -95,6 +103,7 @@ class RunManifest:
             "stages": self.stages,
             "event_log": self.event_log,
             "artifacts": self.artifacts,
+            "checksums": self.checksums,
             "created": self.created,
         }
 
@@ -109,25 +118,47 @@ class RunManifest:
             stages=data.get("stages", {}),
             event_log=data.get("event_log"),
             artifacts=data.get("artifacts", {}),
+            checksums=data.get("checksums", {}),
             created=data.get("created"),
         )
 
     def write(self, path):
-        """Serialise to ``path``; returns the path."""
+        """Serialise to ``path`` atomically; returns the path.
+
+        Uses the crash-safe store (temp + fsync + ``os.replace``) so a
+        manifest is never observed half-written.
+        """
         from pathlib import Path
 
+        from repro.resilience.store import atomic_write_json
+
         path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.to_dict(), indent=2,
-                                   sort_keys=True) + "\n")
+        atomic_write_json(path, self.to_dict())
         return path
 
     @classmethod
     def load(cls, path):
-        """Parse a manifest file written by :meth:`write`."""
+        """Parse a manifest file written by :meth:`write`.
+
+        Raises :class:`~repro.resilience.errors.ManifestError` when
+        the file is unreadable, not JSON, or structurally wrong —
+        callers quarantine instead of crashing.
+        """
         from pathlib import Path
 
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        from repro.resilience.errors import ManifestError
+
+        try:
+            data = json.loads(Path(path).read_text())
+            if not isinstance(data, dict):
+                raise ValueError("manifest is not a JSON object")
+            return cls.from_dict(data)
+        except OSError as error:
+            raise ManifestError(str(path),
+                                "unreadable: %s" % error) from error
+        except (ValueError, KeyError, TypeError) as error:
+            raise ManifestError(str(path),
+                                "malformed: %s" % error) from error
 
     @property
     def total_stage_seconds(self):

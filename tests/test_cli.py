@@ -155,3 +155,81 @@ def test_main_conformance_with_telemetry(capsys, tmp_path, monkeypatch):
     from repro.telemetry.core import TELEMETRY
 
     assert TELEMETRY.enabled is False
+
+
+def test_main_rejects_nonpositive_scale(capsys):
+    exit_code = main(["table1", "--scale", "0", "--no-cache"])
+    assert exit_code == 2
+    err = capsys.readouterr().err
+    assert "--scale must be > 0" in err
+
+
+def test_main_rejects_nonpositive_runs(capsys):
+    exit_code = main(["table1", "--runs", "0", "--no-cache"])
+    assert exit_code == 2
+    assert "--runs must be >= 1" in capsys.readouterr().err
+
+
+def test_main_rejects_nonpositive_workers(capsys):
+    exit_code = main(["table1", "--workers", "0", "--no-cache"])
+    assert exit_code == 2
+    assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+def test_main_rejects_nonpositive_seeds(capsys):
+    exit_code = main(["conformance", "--seeds", "0"])
+    assert exit_code == 2
+    assert "--seeds must be >= 1" in capsys.readouterr().err
+
+
+def test_main_rejects_nonpositive_limit(capsys):
+    exit_code = main(["trace", "--limit", "0", "--no-cache"])
+    assert exit_code == 2
+    assert "--limit must be >= 1" in capsys.readouterr().err
+
+
+def test_main_uncreatable_cache_dir_exits_3(capsys, tmp_path,
+                                            monkeypatch):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("a file where a directory must go")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "cache"))
+    exit_code = main(["table1", "--scale", "0.05", "--runs", "1",
+                      "--benchmarks", "wc"])
+    assert exit_code == 3
+    err = capsys.readouterr().err
+    assert "cannot be created" in err
+    assert "--no-cache" in err
+
+
+def test_main_no_cache_skips_cache_dir_check(capsys, tmp_path,
+                                             monkeypatch):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("x")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(blocker / "cache"))
+    exit_code = main(["headline", "--scale", "0.05", "--runs", "1",
+                      "--no-cache", "--benchmarks", "wc"])
+    assert exit_code == 0
+
+
+def test_main_faults_matrix(capsys):
+    exit_code = main(["faults", "--seeds", "1"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Fault-injection recovery matrix" in out
+    assert "RESULT: PASS" in out
+    for kind in ("torn-write", "bit-flip", "enospc", "worker-crash",
+                 "worker-hang", "corrupt-manifest"):
+        assert kind in out
+
+
+def test_main_cache_lists_corrupt_entries(capsys, tmp_path,
+                                          monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["table1", "--scale", "0.05", "--runs", "1",
+                 "--benchmarks", "wc"]) == 0
+    manifest = next(tmp_path.glob("wc-*.manifest.json"))
+    manifest.write_text("{ torn json")
+    capsys.readouterr()
+    assert main(["cache"]) == 0
+    out = capsys.readouterr().out
+    assert "(corrupt)" in out

@@ -1,0 +1,249 @@
+"""Tests for the crash-safe artifact store."""
+
+import json
+import multiprocessing
+import os
+import pathlib
+import threading
+import time
+
+import pytest
+
+from repro.resilience.errors import LockTimeout
+from repro.resilience.faults import FAULTS, Fault, FaultPlan
+from repro.resilience.store import (
+    QUARANTINE_SUFFIX,
+    StemLock,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    atomic_write_text,
+    data_checksum,
+    file_checksum,
+    list_quarantined,
+    quarantine,
+    verify_checksum,
+)
+from repro.telemetry.core import TELEMETRY
+from repro.telemetry.sinks import InMemoryAggregator
+
+
+@pytest.fixture(autouse=True)
+def sink():
+    aggregator = InMemoryAggregator()
+    TELEMETRY.enable(aggregator)
+    yield aggregator
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+def test_atomic_write_bytes_roundtrip(tmp_path):
+    path = tmp_path / "artifact.bin"
+    checksum = atomic_write_bytes(path, b"branch trace payload")
+    assert path.read_bytes() == b"branch trace payload"
+    assert checksum == data_checksum(b"branch trace payload")
+    assert checksum.startswith("sha256:")
+    assert file_checksum(path) == checksum
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    path = tmp_path / "artifact.bin"
+    atomic_write_bytes(path, b"old")
+    atomic_write_bytes(path, b"new contents")
+    assert path.read_bytes() == b"new contents"
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    atomic_write_bytes(tmp_path / "a.bin", b"x" * 4096)
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "a.bin"]
+    assert leftovers == []
+
+
+def test_atomic_write_creates_parent_dirs(tmp_path):
+    path = tmp_path / "nested" / "deep" / "a.json"
+    atomic_write_json(path, {"k": 1})
+    assert json.loads(path.read_text()) == {"k": 1}
+
+
+def test_atomic_write_text_and_json_checksums(tmp_path):
+    text_path = tmp_path / "a.txt"
+    checksum = atomic_write_text(text_path, "hello\n")
+    assert verify_checksum(text_path, checksum)
+    json_path = tmp_path / "a.json"
+    checksum = atomic_write_json(json_path, {"b": [1, 2]})
+    assert verify_checksum(json_path, checksum)
+    # Sorted keys -> byte-stable across runs.
+    again = atomic_write_json(tmp_path / "b.json", {"b": [1, 2]})
+    assert again == checksum
+
+
+def test_atomic_write_npz_roundtrip(tmp_path):
+    np = pytest.importorskip("numpy")
+    path = tmp_path / "trace.npz"
+    checksum = atomic_write_npz(path, {"taken": np.array([1, 0, 1])})
+    assert verify_checksum(path, checksum)
+    with np.load(path) as archive:
+        assert list(archive["taken"]) == [1, 0, 1]
+
+
+def test_verify_checksum_rejects_damage(tmp_path):
+    path = tmp_path / "a.bin"
+    checksum = atomic_write_bytes(path, b"payload")
+    path.write_bytes(b"paXload")
+    assert not verify_checksum(path, checksum)
+
+
+def test_verify_checksum_missing_or_empty(tmp_path):
+    assert not verify_checksum(tmp_path / "absent.bin", "sha256:00")
+    path = tmp_path / "a.bin"
+    atomic_write_bytes(path, b"x")
+    assert not verify_checksum(path, None)
+    assert not verify_checksum(path, "")
+
+
+def test_enospc_injection_leaves_no_artifact(tmp_path, sink):
+    path = tmp_path / "a.bin"
+    FAULTS.arm(FaultPlan([Fault("enospc", at=1)]))
+    try:
+        with pytest.raises(OSError) as excinfo:
+            atomic_write_bytes(path, b"doomed")
+    finally:
+        FAULTS.disarm()
+    assert "no space left" in str(excinfo.value)
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []
+    assert sink.named("fault.injected")
+
+
+def test_quarantine_renames_and_reports(tmp_path, sink):
+    path = tmp_path / "wc.trace.npz"
+    path.write_bytes(b"damaged")
+    target = quarantine(path, "checksum mismatch", benchmark="wc")
+    assert target.name == "wc.trace.npz" + QUARANTINE_SUFFIX
+    assert not path.exists()
+    assert target.read_bytes() == b"damaged"
+    events = sink.named("cache.quarantined")
+    assert events and events[0]["reason"] == "checksum mismatch"
+    assert events[0]["benchmark"] == "wc"
+
+
+def test_quarantine_serial_suffix_on_collision(tmp_path):
+    first = tmp_path / "a.bin"
+    first.write_bytes(b"one")
+    quarantine(first, "r1")
+    second = tmp_path / "a.bin"
+    second.write_bytes(b"two")
+    target = quarantine(second, "r2")
+    assert target.name == "a.bin" + QUARANTINE_SUFFIX + ".1"
+    assert len(list_quarantined(tmp_path)) == 2
+
+
+def test_quarantine_missing_path_is_none(tmp_path):
+    assert quarantine(tmp_path / "absent.bin", "gone") is None
+
+
+def test_list_quarantined_empty_and_missing(tmp_path):
+    assert list_quarantined(tmp_path) == []
+    assert list_quarantined(tmp_path / "nope") == []
+
+
+def test_stem_lock_mutual_exclusion_same_process(tmp_path):
+    with StemLock(tmp_path, "wc-entry"):
+        other = StemLock(tmp_path, "wc-entry", timeout=0.2, poll=0.02)
+        with pytest.raises(LockTimeout):
+            other.acquire()
+    # Released: acquirable again.
+    with StemLock(tmp_path, "wc-entry", timeout=0.2):
+        pass
+
+
+def test_stem_lock_timeout_emits_event(tmp_path, sink):
+    with StemLock(tmp_path, "stem"):
+        blocked = StemLock(tmp_path, "stem", timeout=0.1, poll=0.02)
+        with pytest.raises(LockTimeout):
+            blocked.acquire()
+    events = sink.named("cache.lock_timeout")
+    assert events and events[0]["timeout_s"] == 0.1
+
+
+def test_stem_lock_different_stems_independent(tmp_path):
+    with StemLock(tmp_path, "a"), StemLock(tmp_path, "b", timeout=0.2):
+        pass
+
+
+def test_stem_lock_serialises_threads(tmp_path):
+    order = []
+
+    def hold(name, seconds):
+        with StemLock(tmp_path, "shared", timeout=10.0, poll=0.01):
+            order.append("%s-in" % name)
+            time.sleep(seconds)
+            order.append("%s-out" % name)
+
+    first = threading.Thread(target=hold, args=("first", 0.15))
+    first.start()
+    time.sleep(0.05)
+    second = threading.Thread(target=hold, args=("second", 0.0))
+    second.start()
+    first.join()
+    second.join()
+    assert order == ["first-in", "first-out", "second-in", "second-out"]
+
+
+def _hold_lock_in_child(arguments):
+    directory, held_flag, release_flag = arguments
+    lock = StemLock(directory, "cross", timeout=5.0).acquire()
+    try:
+        pathlib.Path(held_flag).write_text("held")
+        while not pathlib.Path(release_flag).exists():
+            time.sleep(0.01)
+    finally:
+        lock.release()
+
+
+def test_stem_lock_blocks_across_processes(tmp_path):
+    held = tmp_path / "held.flag"
+    release = tmp_path / "release.flag"
+    context = multiprocessing.get_context()
+    child = context.Process(
+        target=_hold_lock_in_child,
+        args=((str(tmp_path), str(held), str(release)),))
+    child.start()
+    try:
+        deadline = time.monotonic() + 10.0
+        while not held.exists():
+            assert time.monotonic() < deadline, "child never locked"
+            time.sleep(0.01)
+        blocked = StemLock(tmp_path, "cross", timeout=0.15, poll=0.02)
+        with pytest.raises(LockTimeout):
+            blocked.acquire()
+        release.write_text("go")
+        child.join(timeout=10.0)
+        assert child.exitcode == 0
+        with StemLock(tmp_path, "cross", timeout=2.0):
+            pass
+    finally:
+        release.write_text("go")
+        if child.is_alive():
+            child.kill()
+            child.join()
+
+
+def test_lock_dies_with_killed_holder(tmp_path):
+    """SIGKILL-ing a lock holder must not wedge the stem."""
+    held = tmp_path / "held.flag"
+    release = tmp_path / "release.flag"
+    context = multiprocessing.get_context()
+    child = context.Process(
+        target=_hold_lock_in_child,
+        args=((str(tmp_path), str(held), str(release)),))
+    child.start()
+    deadline = time.monotonic() + 10.0
+    while not held.exists():
+        assert time.monotonic() < deadline, "child never locked"
+        time.sleep(0.01)
+    os.kill(child.pid, 9)
+    child.join()
+    # flock dies with the holder: immediately acquirable again.
+    with StemLock(tmp_path, "cross", timeout=2.0):
+        pass

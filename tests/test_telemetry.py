@@ -202,7 +202,9 @@ def test_manifest_roundtrip(tmp_path):
     loaded = RunManifest.load(path)
     assert loaded == manifest
     assert loaded.total_stage_seconds == pytest.approx(1.51)
-    assert loaded.to_dict()["manifest_version"] == 1
+    from repro.telemetry.manifest import MANIFEST_VERSION
+
+    assert loaded.to_dict()["manifest_version"] == MANIFEST_VERSION
 
 
 def test_manifest_path_for():
