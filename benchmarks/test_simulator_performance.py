@@ -1,36 +1,72 @@
 """Performance benchmarks of the simulation infrastructure itself.
 
 Not a paper experiment: these keep the reproduction usable by tracking
-the throughput of the VM interpreter, the predictor simulators, and
-the FS compiler passes — the costs that gate paper-scale runs.
+the throughput of the VM interpreter, the predictor simulators (both
+engines), and the FS compiler passes — the costs that gate paper-scale
+runs.
 
-The module also writes ``BENCH_telemetry.json`` next to the repo root
-on teardown (per-stage wall clock and the measured throughput rates),
-so the perf trajectory is comparable across PRs.
+Two trajectory files are written next to the repo root on teardown:
+
+* ``BENCH_telemetry.json`` — per-stage wall clock and throughput
+  rates, comparable across PRs;
+* ``BENCH_kernels.json`` — the scalar-vs-vector engine measurements.
+  The ``test_kernel_*`` tests are the **perf-regression gate**: they
+  fail when the vector engine loses bit identity with the scalar
+  loop, when the headline speedup drops below its floor, or when
+  vector throughput regresses more than 25% against the committed
+  baseline (read before it is rewritten).  ``scripts/check.sh`` runs
+  them with ``-k kernel``; they use plain ``time.perf_counter`` so
+  they work standalone, without the pytest-benchmark fixture.
 """
 
 import json
+import time
 from pathlib import Path
 
 import pytest
 
 from repro.benchmarksuite import compile_benchmark, get_benchmark
-from repro.predictors import CounterBTB, SimpleBTB, simulate
+from repro.predictors import (
+    CounterBTB,
+    ForwardSemanticPredictor,
+    SimpleBTB,
+    simulate,
+)
 from repro.traceopt import build_fs_program, fill_forward_slots
 from repro.profiling import profile_program
 from repro.vm import Machine
+
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Vector throughput may drop to this fraction of the committed
+#: baseline before the gate fails.
+_REGRESSION_FLOOR = 0.75
+
+#: Minimum aggregate vector-over-scalar speedup on the headline
+#: workload (all three paper schemes over the largest cached trace).
+_SPEEDUP_FLOOR = 5.0
 
 #: Rates and stage timings the tests below record; flushed to
 #: BENCH_telemetry.json when the module finishes.
 _TELEMETRY_REPORT = {"rates": {}, "stages": {}}
 
+#: Engine measurements; flushed to BENCH_kernels.json on teardown.
+_KERNEL_REPORT = {"workload": {}, "schemes": {}, "headline": {}}
+
 
 @pytest.fixture(scope="module", autouse=True)
 def _write_bench_telemetry():
     yield
-    path = Path(__file__).resolve().parents[1] / "BENCH_telemetry.json"
-    path.write_text(json.dumps(_TELEMETRY_REPORT, indent=2,
-                               sort_keys=True) + "\n")
+    # Partial runs (e.g. `-k kernel`) must not wipe the trajectory
+    # file the deselected tests would have filled.
+    if _TELEMETRY_REPORT["rates"] or _TELEMETRY_REPORT["stages"]:
+        path = _REPO_ROOT / "BENCH_telemetry.json"
+        path.write_text(json.dumps(_TELEMETRY_REPORT, indent=2,
+                                   sort_keys=True) + "\n")
+    if _KERNEL_REPORT["schemes"]:
+        path = _REPO_ROOT / "BENCH_kernels.json"
+        path.write_text(json.dumps(_KERNEL_REPORT, indent=2,
+                                   sort_keys=True) + "\n")
 
 
 def test_vm_throughput(benchmark):
@@ -72,18 +108,127 @@ def test_vm_tracing_overhead(benchmark):
 
 
 def test_predictor_throughput(benchmark, runner, all_runs):
-    """Branch records per second through the SBTB + CBTB simulators."""
+    """Branch records per second through the SBTB + CBTB simulators.
+
+    Pinned to the scalar engine: the rate floor (and the trajectory in
+    BENCH_telemetry.json) measures the per-record loop, not the
+    kernels — those have their own gate below.
+    """
     largest = max(all_runs.values(), key=lambda run: len(run.trace))
 
     def run():
-        simulate(SimpleBTB(), largest.trace)
-        simulate(CounterBTB(), largest.trace)
+        simulate(SimpleBTB(), largest.trace, engine="scalar")
+        simulate(CounterBTB(), largest.trace, engine="scalar")
 
     benchmark.pedantic(run, rounds=3, iterations=1)
     rate = 2 * len(largest.trace) / benchmark.stats.stats.mean
     _TELEMETRY_REPORT["rates"]["predictor_records_per_second"] = rate
     print("\npredictor throughput: %.0f records/second" % rate)
     assert rate > 50_000
+
+
+# -- the kernel perf-regression gate -------------------------------------
+
+
+def _headline_schemes(run):
+    """The paper's three schemes over one benchmark's trace."""
+    return [
+        ("SBTB", lambda: SimpleBTB()),
+        ("CBTB", lambda: CounterBTB()),
+        ("FS", lambda: ForwardSemanticPredictor(
+            program=run.fs_program)),
+    ]
+
+
+def _time_engine(make_predictor, trace, engine, rounds):
+    """Best-of-``rounds`` wall clock plus the stats it produced."""
+    stats = simulate(make_predictor(), trace, engine=engine)
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        simulate(make_predictor(), trace, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best, stats
+
+
+def test_kernel_engines_match_and_speed_up(all_runs):
+    """Scalar/vector mismatch gate plus the headline speedup floor.
+
+    Measures every headline scheme on the largest cached trace with
+    both engines.  Fails if any scheme's stats differ between the
+    engines (bit identity is the kernels' contract) or if the
+    aggregate speedup falls below ``_SPEEDUP_FLOOR``.  The teardown
+    fixture persists the numbers to ``BENCH_kernels.json``.
+    """
+    name, run = max(all_runs.items(), key=lambda kv: len(kv[1].trace))
+    trace = run.trace
+    _KERNEL_REPORT["workload"] = {
+        "benchmark": name,
+        "records": len(trace),
+    }
+
+    scalar_total = vector_total = 0.0
+    for scheme, make_predictor in _headline_schemes(run):
+        scalar_time, scalar_stats = _time_engine(
+            make_predictor, trace, "scalar", rounds=2)
+        vector_time, vector_stats = _time_engine(
+            make_predictor, trace, "vector", rounds=5)
+        assert scalar_stats == vector_stats, (
+            "%s: engines disagree on %s\n  scalar: %r\n  vector: %r"
+            % (scheme, name, scalar_stats.as_dict(),
+               vector_stats.as_dict()))
+        scalar_total += scalar_time
+        vector_total += vector_time
+        _KERNEL_REPORT["schemes"][scheme] = {
+            "scalar_records_per_second": len(trace) / scalar_time,
+            "vector_records_per_second": len(trace) / vector_time,
+            "speedup": scalar_time / vector_time,
+        }
+
+    records = 3 * len(trace)
+    speedup = scalar_total / vector_total
+    _KERNEL_REPORT["headline"] = {
+        "scalar_records_per_second": records / scalar_total,
+        "vector_records_per_second": records / vector_total,
+        "speedup": speedup,
+    }
+    print("\nkernel headline: %.0f scalar vs %.0f vector records/s "
+          "(%.1fx)" % (records / scalar_total, records / vector_total,
+                       speedup))
+    assert speedup >= _SPEEDUP_FLOOR, (
+        "vector engine only %.2fx faster than scalar on %s "
+        "(floor %.1fx)" % (speedup, name, _SPEEDUP_FLOOR))
+
+
+def test_kernel_throughput_regression_gate(all_runs):
+    """Fail when vector throughput regresses >25% vs the baseline.
+
+    Compares against the committed ``BENCH_kernels.json`` (the
+    previous run's measurements, read before teardown rewrites it).
+    Skips when there is no baseline yet or the workload changed size
+    (different ``REPRO_BENCH_SCALE``), since rates are only comparable
+    on the same record count.
+    """
+    if not _KERNEL_REPORT["headline"]:
+        pytest.skip("speedup test did not run; nothing to compare")
+    baseline_path = _REPO_ROOT / "BENCH_kernels.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed BENCH_kernels.json baseline yet")
+    baseline = json.loads(baseline_path.read_text())
+    if baseline.get("workload") != _KERNEL_REPORT["workload"]:
+        pytest.skip("workload changed: %r vs %r — rates not comparable"
+                    % (baseline.get("workload"),
+                       _KERNEL_REPORT["workload"]))
+
+    old = baseline["headline"]["vector_records_per_second"]
+    new = _KERNEL_REPORT["headline"]["vector_records_per_second"]
+    print("\nkernel regression gate: %.0f baseline vs %.0f current "
+          "vector records/s (%.2fx)" % (old, new, new / old))
+    assert new >= _REGRESSION_FLOOR * old, (
+        "vector throughput regressed %.0f%% against the committed "
+        "baseline (%.0f -> %.0f records/s; floor is %d%%)"
+        % (100 * (1 - new / old), old, new,
+           100 * _REGRESSION_FLOOR))
 
 
 def test_fs_compile_pipeline_latency(benchmark):

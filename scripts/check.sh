@@ -2,7 +2,8 @@
 # Pre-PR gate: lint + tier-1 tests.  Run from anywhere; exits non-zero
 # on the first failure.
 #
-#   scripts/check.sh            # everything
+#   scripts/check.sh            # fast path (skips tests marked slow)
+#   scripts/check.sh --full     # everything, slow tests included
 #   scripts/check.sh --no-lint  # tests only
 set -eu
 
@@ -10,9 +11,14 @@ repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 cd "$repo_root"
 
 run_lint=1
-if [ "${1:-}" = "--no-lint" ]; then
-    run_lint=0
-fi
+marker='not slow'
+for arg in "$@"; do
+    case "$arg" in
+        --no-lint) run_lint=0 ;;
+        --full) marker='' ;;
+        *) echo "unknown flag: $arg" >&2; exit 2 ;;
+    esac
+done
 
 if [ "$run_lint" = 1 ]; then
     if command -v ruff >/dev/null 2>&1; then
@@ -27,15 +33,16 @@ if [ "$run_lint" = 1 ]; then
 fi
 
 echo "== tier-1 tests =="
+# Fast path deselects tests marked slow; --full runs them too.
 # Coverage gate when pytest-cov is available (the container may not
 # ship it; the plain run is the same test suite either way).
 if python -c "import pytest_cov" >/dev/null 2>&1; then
-    PYTHONPATH=src python -m pytest -x -q \
+    PYTHONPATH=src python -m pytest -x -q -m "$marker" \
         --cov=repro --cov-report=term-missing:skip-covered \
         --cov-fail-under=70
 else
     echo "   (pytest-cov not installed: coverage gate skipped)"
-    PYTHONPATH=src python -m pytest -x -q
+    PYTHONPATH=src python -m pytest -x -q -m "$marker"
 fi
 
 echo "== conformance smoke =="
@@ -50,5 +57,12 @@ echo "== fault-injection smoke =="
 # deterministically and must end in a verified recovery — the gate
 # fails if any injected fault is silently swallowed.
 PYTHONPATH=src python -m repro faults --seeds 10
+
+echo "== kernel bench gate =="
+# Scalar-vs-vector engines on the headline workload: fails on any
+# stats mismatch, a headline speedup under 5x, or vector throughput
+# regressing >25% against the committed BENCH_kernels.json baseline.
+PYTHONPATH=src python -m pytest -q \
+    benchmarks/test_simulator_performance.py -k kernel
 
 echo "== all checks passed =="

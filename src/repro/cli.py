@@ -105,6 +105,13 @@ def build_parser():
                         help="write the result to a file instead of stdout")
     parser.add_argument("--limit", type=int, default=25,
                         help="records to show for 'trace' (default 25)")
+    parser.add_argument("--engine", choices=("auto", "scalar", "vector"),
+                        default="auto",
+                        help="simulation engine: 'vector' runs the "
+                             "batch kernels, 'scalar' the per-record "
+                             "reference loop, 'auto' (default) picks "
+                             "vector for large traces; results are "
+                             "bit-identical either way")
     parser.add_argument("--workers", type=int, default=1,
                         help="parallel workers for trace collection "
                              "(needs the cache enabled)")
@@ -293,7 +300,8 @@ def _sweep_checkpoint(runner, names, sections, label, resume):
     )
 
     fingerprint = sweep_fingerprint(sections, runner.scale, runner.runs,
-                                    names, CACHE_FORMAT_VERSION)
+                                    names, CACHE_FORMAT_VERSION,
+                                    engine=runner.engine)
     path = (runner.cache_dir / "checkpoints"
             / ("%s-%s.json" % (label, fingerprint)))
     return SweepCheckpoint(path, fingerprint)
@@ -371,8 +379,13 @@ def main(argv=None):
         _write_output(render_cache(as_json=args.json), args.output)
         return 0
 
+    from repro.kernels import set_default_engine
+
     event_log = _enable_telemetry(args) if args.telemetry else None
     exit_code = 0
+    # The process-wide default makes library code that calls
+    # simulate() without an engine argument follow --engine too.
+    previous_engine = set_default_engine(args.engine)
     try:
         if args.experiment == "conformance":
             from repro.conformance import run_conformance, write_golden
@@ -403,7 +416,8 @@ def main(argv=None):
             return exit_code
         runner = SuiteRunner(scale=args.scale, runs=args.runs,
                              cache_dir=False if args.no_cache else None,
-                             verify=args.verify, event_log=event_log)
+                             verify=args.verify, event_log=event_log,
+                             engine=args.engine)
         names = ([args.target] if args.target else None) or args.benchmarks
         if args.workers > 1:
             from repro.benchmarksuite import ALL_BENCHMARK_NAMES
@@ -433,6 +447,7 @@ def main(argv=None):
         else:
             text = _EXPERIMENTS[args.experiment](runner, names)
     finally:
+        set_default_engine(previous_engine)
         if event_log is not None:
             from repro.telemetry.core import TELEMETRY
 

@@ -26,6 +26,7 @@ the telemetry event stream.
 from repro.conformance.differential import (
     Divergence,
     cycle_divergence,
+    engine_divergence,
     replay_divergence,
     shrink_trace,
     subtrace,
@@ -58,6 +59,7 @@ __all__ = [
     "check_golden",
     "check_paper_bands",
     "cycle_divergence",
+    "engine_divergence",
     "oracle_for",
     "replay_divergence",
     "run_conformance",

@@ -116,6 +116,33 @@ def replay_divergence(production, oracle, trace, ras_returns=True,
     return None
 
 
+def engine_divergence(make_predictor, trace, ras_returns=True,
+                      conditional_only=False):
+    """Compare the scalar and vector simulation engines on one trace.
+
+    Simulates a fresh predictor from ``make_predictor`` once per
+    engine and compares the two ``PredictionStats`` field for field —
+    the bit-identity contract of :mod:`repro.kernels`.  Returns an
+    aggregate :class:`Divergence` or None; also None when the
+    predictor has no vector kernel (nothing to cross-check).
+    """
+    from repro.kernels import supports
+    from repro.predictors.base import simulate
+
+    if not supports(make_predictor()):
+        return None
+    scalar = simulate(make_predictor(), trace, engine="scalar",
+                      conditional_only=conditional_only,
+                      ras_returns=ras_returns)
+    vector = simulate(make_predictor(), trace, engine="vector",
+                      conditional_only=conditional_only,
+                      ras_returns=ras_returns)
+    if scalar != vector:
+        return Divergence("engine", None, None, scalar.as_dict(),
+                          vector.as_dict())
+    return None
+
+
 def cycle_divergence(config, make_production, make_oracle, trace,
                      ras_returns=True):
     """Compare the production cycle simulator against the interpreter.

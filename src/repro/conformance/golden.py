@@ -169,12 +169,13 @@ def _structural_violations(name, row):
     return violations
 
 
-def _golden_runner(cache):
+def _golden_runner(cache, engine="auto"):
     from repro.experiments.runner import SuiteRunner
 
     return SuiteRunner(scale=GOLDEN_CONFIG["scale"],
                        runs=GOLDEN_CONFIG["runs"],
-                       cache_dir=None if cache else False)
+                       cache_dir=None if cache else False,
+                       engine=engine)
 
 
 def write_golden(path=None, cache=True):
@@ -190,12 +191,16 @@ def write_golden(path=None, cache=True):
     return path
 
 
-def check_golden(path=None, cache=True, tolerance=1e-9):
+def check_golden(path=None, cache=True, tolerance=1e-9, engine="auto"):
     """Compare a fresh pinned-config measurement against the golden file.
 
     The golden file embeds the configuration it was measured at, so
-    this check is self-contained: it builds its own runner.  Returns a
-    list of violation strings (empty = pass).
+    this check is self-contained: it builds its own runner.  Passing
+    ``engine`` pins the simulation engine the fresh measurement uses —
+    the conformance harness runs this once per engine, so a vector
+    kernel that drifted from the committed trajectory fails golden
+    even if it agrees with the (equally drifted) scalar loop.  Returns
+    a list of violation strings (empty = pass).
     """
     path = Path(path) if path else GOLDEN_PATH
     if not path.exists():
@@ -209,7 +214,8 @@ def check_golden(path=None, cache=True, tolerance=1e-9):
     from repro.experiments.runner import SuiteRunner
 
     runner = SuiteRunner(scale=config["scale"], runs=config["runs"],
-                         cache_dir=None if cache else False)
+                         cache_dir=None if cache else False,
+                         engine=engine)
     fresh = measure(runner, config["benchmarks"])
     violations = []
     for name, golden_row in payload["measured"].items():

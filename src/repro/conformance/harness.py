@@ -5,7 +5,9 @@ One call to :func:`run_conformance` drives, per seed:
 1. a fuzzed trace (and its likely-bit map) from
    :class:`~repro.conformance.fuzz.TraceFuzzer`;
 2. lockstep differential replay of SBTB, CBTB, and FS against their
-   oracles, including buffer-state comparison after every record;
+   oracles, including buffer-state comparison after every record, plus
+   a scalar-vs-vector engine cross-check of each scheme's
+   ``PredictionStats`` over the same trace;
 3. a cycle-level differential of the production
    :class:`~repro.pipeline.cycle_sim.CycleSimulator` against the
    straight-line oracle interpreter, on two pipeline shapes;
@@ -19,6 +21,7 @@ pinpoints the failure without rerunning anything.
 
 from repro.conformance.differential import (
     cycle_divergence,
+    engine_divergence,
     replay_divergence,
     shrink_trace,
 )
@@ -86,6 +89,7 @@ class ConformanceReport:
         self.schemes = tuple(schemes)
         self.replays = 0
         self.cycle_checks = 0
+        self.engine_checks = 0
         self.findings = []
         self.band_violations = []
         self.golden_violations = []
@@ -106,6 +110,8 @@ class ConformanceReport:
             lines.extend(finding.describe() for finding in self.findings)
         else:
             lines.append("differential replay: zero divergences")
+        lines.append("engine cross-check (scalar vs vector): "
+                     "%d comparisons" % self.engine_checks)
         if self.golden_checked:
             for label, violations in (
                     ("paper tolerance bands", self.band_violations),
@@ -171,6 +177,17 @@ def run_conformance(seeds=200, first_seed=0, golden=True, cache=True,
                     _note_divergence(report, scheme, seed, divergence,
                                      reproducer)
                     continue
+                report.engine_checks += 1
+                divergence = engine_divergence(make_production, trace)
+                if divergence is not None:
+                    reproducer = shrink_trace(
+                        trace,
+                        lambda t, mp=make_production:
+                        engine_divergence(mp, t) is not None,
+                        seed=seed)
+                    _note_divergence(report, "%s@engine" % scheme, seed,
+                                     divergence, reproducer)
+                    continue
                 for config in _CYCLE_CONFIGS:
                     report.cycle_checks += 1
                     divergence = cycle_divergence(
@@ -187,7 +204,15 @@ def run_conformance(seeds=200, first_seed=0, golden=True, cache=True,
                                  runs=GOLDEN_CONFIG["runs"],
                                  cache_dir=None if cache else False)
             report.band_violations = check_paper_bands(runner)
-            report.golden_violations = check_golden(cache=cache)
+            # Once per engine: the vector kernels must reproduce the
+            # committed trajectory exactly, not merely agree with a
+            # scalar loop that drifted alongside them.
+            report.golden_violations = check_golden(cache=cache,
+                                                    engine="scalar")
+            report.golden_violations += [
+                "vector engine: " + violation
+                for violation in check_golden(cache=cache,
+                                              engine="vector")]
             report.golden_checked = True
             TELEMETRY.count("conformance.band_violations",
                             len(report.band_violations))

@@ -40,6 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.benchmarksuite import get_benchmark
+from repro.kernels.engine import ENGINES
 from repro.lang import compile_source
 from repro.profiling import Profile, profile_program
 from repro.resilience.errors import (
@@ -106,7 +107,7 @@ class BenchmarkRun:
     """All measured artifacts for one benchmark at one scale."""
 
     def __init__(self, name, spec, program, layout, profile, trace,
-                 scale, runs, manifest=None):
+                 scale, runs, manifest=None, engine="auto"):
         self.name = name
         self.spec = spec
         self.program = program          # base compiled program
@@ -116,6 +117,7 @@ class BenchmarkRun:
         self.scale = scale
         self.runs = runs
         self.manifest = manifest        # RunManifest (None when uncached)
+        self.engine = engine            # simulation engine for predictions
         self._stats = None
         self._predictions = None
         self._expansions = None
@@ -150,14 +152,14 @@ class BenchmarkRun:
                             entries=entries):
             results = {
                 "SBTB": simulate(SimpleBTB(entries, associativity),
-                                 self.trace),
+                                 self.trace, engine=self.engine),
                 "CBTB": simulate(
                     CounterBTB(entries, associativity, counter_bits,
                                threshold),
-                    self.trace),
+                    self.trace, engine=self.engine),
                 "FS": simulate(
                     ForwardSemanticPredictor(program=self.fs_program),
-                    self.trace),
+                    self.trace, engine=self.engine),
             }
         if default:
             self._predictions = results
@@ -182,6 +184,19 @@ def default_cache_dir():
     return Path(__file__).resolve().parents[3] / ".repro_cache"
 
 
+def _parses_as_json_object(path):
+    """True when ``path`` holds a JSON object (however unfamiliar).
+
+    Distinguishes a manifest from a *newer schema* — valid JSON whose
+    structure this version cannot interpret, which is staleness — from
+    a torn or bit-rotted file, which is corruption.
+    """
+    try:
+        return isinstance(json.loads(Path(path).read_text()), dict)
+    except (OSError, ValueError):
+        return False
+
+
 def list_cache_entries(cache_dir=None):
     """Inventory of the trace cache for ``repro-branches cache``.
 
@@ -190,10 +205,15 @@ def list_cache_entries(cache_dir=None):
     (sorted by stem) with sizes, the current-version flag, a
     ``status`` field, and the parsed manifest when one parses.
 
-    Damage never raises: a malformed or truncated manifest reports the
-    entry with ``status: "corrupt"`` (manifest ``None``); a missing
-    manifest reports ``status: "no-manifest"`` — so the listing works
-    on a damaged cache directory instead of crashing on it.
+    Damage never raises, and damage is distinguished from mere age: a
+    torn or non-JSON manifest reports ``status: "corrupt"`` (manifest
+    ``None``); a manifest that is valid JSON but from another era — a
+    future schema this code cannot parse, a ``format_version`` other
+    than the current one, or an unknown recorded engine — reports
+    ``status: "stale"`` (the entry is intact, just unusable by this
+    version); a missing manifest reports ``status: "no-manifest"`` —
+    so the listing works on a damaged cache directory instead of
+    crashing on it.
     """
     cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
     entries = []
@@ -215,7 +235,13 @@ def list_cache_entries(cache_dir=None):
             try:
                 manifest = RunManifest.load(manifest_path)
             except ManifestError:
-                status = "corrupt"
+                status = ("stale" if _parses_as_json_object(manifest_path)
+                          else "corrupt")
+            else:
+                if (manifest.format_version != CACHE_FORMAT_VERSION
+                        or manifest.config.get("engine", "auto")
+                        not in ENGINES):
+                    status = "stale"
         else:
             status = "no-manifest"
         match = _VERSION_IN_STEM.search(trace_path.name)
@@ -252,6 +278,9 @@ class SuiteRunner:
         warm_retries: extra attempts a warm worker gets after dying.
         lock_timeout: how long to wait on another process's stem lock
             before degrading to an uncached in-process compute.
+        engine: simulation engine (``auto``/``scalar``/``vector``) the
+            runs' predictions use; recorded in run manifests so cached
+            tables are traceable to the engine that produced them.
 
     After a parallel ``run_all``, :attr:`last_warm_report` holds the
     supervised warm's :class:`~repro.resilience.supervisor.RunReport`
@@ -261,9 +290,13 @@ class SuiteRunner:
     def __init__(self, scale=1.0, runs=None, cache_dir=None,
                  max_instructions=500_000_000, verify=True,
                  event_log=None, warm_timeout=600.0, warm_retries=2,
-                 lock_timeout=600.0):
+                 lock_timeout=600.0, engine="auto"):
+        if engine not in ENGINES:
+            raise ValueError("unknown engine %r (expected one of %s)"
+                             % (engine, ", ".join(ENGINES)))
         self.scale = scale
         self.runs = runs
+        self.engine = engine
         if cache_dir is False:
             self.cache_dir = None
         else:
@@ -465,7 +498,8 @@ class SuiteRunner:
                                             profile_path, stages)
 
         run = BenchmarkRun(name, spec, program, layout, profile, trace,
-                           self.scale, n_runs, manifest=manifest)
+                           self.scale, n_runs, manifest=manifest,
+                           engine=self.engine)
         self._memo[name] = run
         return run
 
@@ -518,7 +552,7 @@ class SuiteRunner:
             format_version=CACHE_FORMAT_VERSION,
             config={"scale": self.scale, "runs": n_runs,
                     "max_instructions": self.max_instructions,
-                    "verify": self.verify},
+                    "verify": self.verify, "engine": self.engine},
             git_sha=self._repo_git_sha(),
             stages=stages,
             event_log=self.event_log,

@@ -1,0 +1,140 @@
+"""Vectorized simulation kernels (the ``--engine=vector`` path).
+
+The scalar simulator in :mod:`repro.predictors.base` walks a branch
+trace one record at a time through Python objects — honest, simple,
+and the throughput ceiling of every sweep and fuzz campaign.  This
+package re-expresses the same predictors as NumPy array programs:
+
+* traces are encoded once into column arrays
+  (:class:`~repro.kernels.encode.EncodedTrace`), reusing the arrays
+  the ``.npz`` trace cache already stores;
+* per-predictor kernels compute every record's prediction outcome in
+  a handful of whole-trace array passes (:mod:`~repro.kernels.tables`
+  for the SBTB/CBTB associative buffers,
+  :mod:`~repro.kernels.direction` for gshare/bimodal,
+  :mod:`~repro.kernels.static` for the FS and static baselines);
+* the associative-table kernels partition work by cache set and drop
+  to a tight per-set scalar replay only for sets under real capacity
+  pressure (see docs/PERFORMANCE.md for the closed forms);
+* :mod:`~repro.kernels.aggregate` folds per-record outcomes into the
+  same :class:`~repro.predictors.base.PredictionStats` the scalar
+  simulator produces.
+
+The contract is **bit identity**: for every supported predictor and
+every trace, the vector engine returns a ``PredictionStats`` equal
+field-for-field to the scalar simulator's.  The differential
+equivalence tests, the conformance engine cross-check, and the golden
+tables all enforce it; a kernel that is fast but drifts is a bug.
+
+Engine selection lives in :mod:`~repro.kernels.engine`:
+``simulate(..., engine="auto")`` (the default) uses a kernel when one
+exists and the trace is large enough to amortise array setup, and the
+scalar loop otherwise.  The vector engine never mutates the predictor
+object it is handed — buffer-internal telemetry (occupancy, eviction
+counts) is a scalar-engine feature.
+"""
+
+from repro.kernels.encode import EncodedTrace
+from repro.kernels.engine import (
+    AUTO_THRESHOLD,
+    ENGINES,
+    get_default_engine,
+    resolve_engine,
+    set_default_engine,
+)
+
+
+def kernel_for(predictor):
+    """The batch kernel for ``predictor``, or None when unsupported.
+
+    Dispatch is by exact type, not isinstance: a subclass may override
+    ``predict``/``update`` in ways the closed forms do not model, so it
+    falls back to the scalar engine until it registers its own kernel.
+    """
+    from repro.kernels import direction, static, tables
+    from repro.predictors.bimodal import Bimodal
+    from repro.predictors.cbtb import CounterBTB
+    from repro.predictors.fs import ForwardSemanticPredictor
+    from repro.predictors.sbtb import SimpleBTB
+    from repro.predictors.static_schemes import (
+        AlwaysNotTaken,
+        AlwaysTaken,
+        BackwardTakenForwardNotTaken,
+    )
+    from repro.predictors.twolevel import GShare
+
+    registry = {
+        SimpleBTB: tables.sbtb_kernel,
+        CounterBTB: tables.cbtb_kernel,
+        GShare: direction.gshare_kernel,
+        Bimodal: direction.bimodal_kernel,
+        ForwardSemanticPredictor: static.fs_kernel,
+        AlwaysTaken: static.always_taken_kernel,
+        AlwaysNotTaken: static.always_not_taken_kernel,
+        BackwardTakenForwardNotTaken: static.btfnt_kernel,
+    }
+    return registry.get(type(predictor))
+
+
+def supports(predictor):
+    """True when the vector engine has a kernel for ``predictor``."""
+    return kernel_for(predictor) is not None
+
+
+def is_pristine(predictor):
+    """True when ``predictor`` is in its freshly-constructed state.
+
+    The closed forms reconstruct buffer contents from the trace alone,
+    which is only valid when the simulation starts from empty buffers
+    and initial counters — how every runner and sweep builds its
+    predictors.  A warm predictor (reused across simulate calls
+    without ``reset()``) is routed to the scalar engine instead.
+    """
+    from repro.predictors.bimodal import Bimodal
+    from repro.predictors.cbtb import CounterBTB
+    from repro.predictors.sbtb import SimpleBTB
+    from repro.predictors.twolevel import GShare
+
+    if isinstance(predictor, (SimpleBTB, CounterBTB)):
+        return len(predictor._cache) == 0
+    if isinstance(predictor, GShare):
+        return (predictor.history == 0
+                and len(predictor._targets) == 0
+                and predictor.counters.count(1) == len(predictor.counters))
+    if isinstance(predictor, Bimodal):
+        return (len(predictor._targets) == 0
+                and predictor.counters.count(1) == len(predictor.counters))
+    return True     # the software schemes carry no run-time state
+
+
+def simulate_vector(predictor, trace, conditional_only=False,
+                    ras_returns=True):
+    """Run ``predictor`` over ``trace`` with its batch kernel.
+
+    Mirrors :func:`repro.predictors.base.simulate` exactly (without
+    ``flush_interval``, which the engine resolver routes to the scalar
+    loop).  Raises ValueError for unsupported predictors — callers go
+    through :func:`resolve_engine` first.
+    """
+    from repro.kernels.aggregate import assemble_stats
+
+    kernel = kernel_for(predictor)
+    if kernel is None:
+        raise ValueError("no vector kernel for %r" % type(predictor).__name__)
+    return assemble_stats(kernel, predictor, EncodedTrace.of(trace),
+                          conditional_only=conditional_only,
+                          ras_returns=ras_returns)
+
+
+__all__ = [
+    "AUTO_THRESHOLD",
+    "ENGINES",
+    "EncodedTrace",
+    "get_default_engine",
+    "is_pristine",
+    "kernel_for",
+    "resolve_engine",
+    "set_default_engine",
+    "simulate_vector",
+    "supports",
+]

@@ -1,0 +1,174 @@
+"""Segmented array primitives shared by the batch kernels.
+
+Every kernel reduces to the same few questions asked per record about
+*earlier records in some group* (same branch site, same cache set, same
+counter index):
+
+* :func:`previous_index` — where did this group last occur?
+* :func:`last_marked_index` — where did it last occur *with a write*?
+* :func:`running_total` — how much has accumulated in the group so far?
+* :func:`exclusive_states` — what state had the group's small state
+  machine reached?
+
+All helpers take a :class:`Groups` (a stable sort of records by group
+key, so each group is a contiguous segment in sorted order) and return
+answers scattered back to original record order.
+
+The state scan exploits that every transition in the predictor zoo —
+saturating increment, saturating decrement, allocation to a constant —
+is a *clamped add* ``f(s) = clip(s + delta, low, high)``, a family
+closed under composition:
+
+    (g o f)(s) = clip(s + d_f + d_g,
+                      clip(low_f + d_g, low_g, high_g),
+                      clip(high_f + d_g, low_g, high_g))
+
+so a segmented Hillis-Steele doubling scan needs only three integers
+per record instead of a full transition table: ``O(n log n)`` with
+tiny constants, independent of the number of counter states.
+"""
+
+import numpy as np
+
+
+class Groups:
+    """Records grouped by an integer key, order-preserving per group.
+
+    Attributes (all over the *sorted* domain ``order``):
+        order: stable permutation sorting records by key — within a
+            group, sorted rows keep original record order.
+        starts: True at each group's first sorted row.
+        seg_ids: group ordinal per sorted row.
+    """
+
+    __slots__ = ("n", "order", "starts", "seg_ids")
+
+    def __init__(self, keys):
+        keys = np.asarray(keys)
+        self.n = int(keys.shape[0])
+        self.order = np.argsort(keys, kind="stable")
+        starts = np.empty(self.n, dtype=bool)
+        if self.n:
+            sorted_keys = keys[self.order]
+            starts[0] = True
+            np.not_equal(sorted_keys[1:], sorted_keys[:-1],
+                         out=starts[1:])
+        self.starts = starts
+        self.seg_ids = (np.cumsum(starts) - 1 if self.n
+                        else np.zeros(0, dtype=np.int64))
+
+
+def previous_index(groups):
+    """Original index of each record's previous same-group record.
+
+    Returns an int64 array in original record order; -1 marks a
+    group's first record.
+    """
+    out = np.full(groups.n, -1, dtype=np.int64)
+    if groups.n == 0:
+        return out
+    rows = np.nonzero(~groups.starts)[0]
+    prev_sorted = np.full(groups.n, -1, dtype=np.int64)
+    prev_sorted[rows] = groups.order[rows - 1]
+    out[groups.order] = prev_sorted
+    return out
+
+
+def last_marked_index(groups, marked):
+    """Original index of the most recent *earlier* marked record in the
+    same group; -1 when no earlier record of the group is marked.
+    """
+    n = groups.n
+    out = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return out
+    marked_sorted = np.asarray(marked, dtype=bool)[groups.order]
+    # Carrier values: sorted-row number + 1 at marks, 0 elsewhere, so a
+    # running max finds the latest mark and 0 still means "none".
+    carrier = np.where(marked_sorted,
+                       np.arange(1, n + 1, dtype=np.int64), 0)
+    exclusive = np.empty_like(carrier)
+    exclusive[0] = 0
+    exclusive[1:] = carrier[:-1]
+    exclusive[groups.starts] = 0
+    # Per-segment max without a loop: bias each segment into its own
+    # disjoint value range, accumulate globally, un-bias.  A previous
+    # segment's biased values are all smaller than the next segment's
+    # bias, so the running max cannot leak across a boundary.
+    bias = groups.seg_ids * np.int64(n + 1)
+    latest = np.maximum.accumulate(exclusive + bias) - bias
+    found = latest > 0
+    result_sorted = np.full(n, -1, dtype=np.int64)
+    result_sorted[found] = groups.order[latest[found] - 1]
+    out[groups.order] = result_sorted
+    return out
+
+
+def running_total(groups, values):
+    """Inclusive per-group cumulative sum, in original record order."""
+    n = groups.n
+    out = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return out
+    sorted_values = np.asarray(values, dtype=np.int64)[groups.order]
+    total = np.cumsum(sorted_values)
+    start_rows = np.nonzero(groups.starts)[0]
+    segment_base = np.where(start_rows > 0, total[start_rows - 1], 0)
+    out[groups.order] = total - segment_base[groups.seg_ids]
+    return out
+
+
+#: Identity-map bound: wider than any real counter range, narrow
+#: enough that compositions never overflow int32.
+_UNBOUNDED = np.int32(1) << 20
+
+
+def exclusive_states(groups, deltas, lows, highs, init_state):
+    """Run each group's state machine; the state *before* each record.
+
+    Record ``j``'s transition is the clamped add
+    ``clip(s + deltas[j], lows[j], highs[j])`` (all in original record
+    order): saturating up/down steps bound by the counter range, or an
+    allocation encoded as ``delta 0, low == high == value``.  Each
+    group starts in ``init_state`` — moot for groups whose first
+    transition is an allocation.  Returns int32 pre-record states in
+    original record order.
+    """
+    n = groups.n
+    if n == 0:
+        return np.zeros(0, dtype=np.int32)
+    order = groups.order
+    # The exclusive shift: row j carries the previous in-group
+    # record's transition, group firsts the identity; doubling then
+    # composes each row into its whole exclusive in-group prefix.
+    delta = np.empty(n, dtype=np.int32)
+    low = np.empty(n, dtype=np.int32)
+    high = np.empty(n, dtype=np.int32)
+    delta[1:] = np.asarray(deltas, dtype=np.int32)[order][:-1]
+    low[1:] = np.asarray(lows, dtype=np.int32)[order][:-1]
+    high[1:] = np.asarray(highs, dtype=np.int32)[order][:-1]
+    delta[groups.starts] = 0
+    low[groups.starts] = -_UNBOUNDED
+    high[groups.starts] = _UNBOUNDED
+    rows = np.arange(n)
+    segment_start = np.maximum.accumulate(
+        np.where(groups.starts, rows, 0))
+    pos = rows - segment_start
+    stride = 1
+    while True:
+        active = np.nonzero(pos >= stride)[0]
+        if active.size == 0:
+            break
+        earlier = active - stride
+        # Compose: f = prefix ending at j - stride, g = window ending
+        # at j.  Gather everything before assigning anything — rows in
+        # ``earlier`` may also be in ``active``.
+        d_f, lo_f, hi_f = delta[earlier], low[earlier], high[earlier]
+        d_g, lo_g, hi_g = delta[active], low[active], high[active]
+        delta[active] = d_f + d_g
+        low[active] = np.clip(lo_f + d_g, lo_g, hi_g)
+        high[active] = np.clip(hi_f + d_g, lo_g, hi_g)
+        stride <<= 1
+    out = np.empty(n, dtype=np.int32)
+    out[order] = np.clip(np.int32(init_state) + delta, low, high)
+    return out

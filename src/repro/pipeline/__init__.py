@@ -15,6 +15,7 @@ itself uses the equation).
 from repro.pipeline.config import PipelineConfig
 from repro.pipeline.cost_model import (
     branch_cost,
+    branch_cost_batch,
     branch_cost_series,
     cost_from_stats,
 )
@@ -36,6 +37,7 @@ from repro.pipeline.hardware_cost import (
 __all__ = [
     "PipelineConfig",
     "branch_cost",
+    "branch_cost_batch",
     "branch_cost_series",
     "cost_from_stats",
     "CycleSimulator",

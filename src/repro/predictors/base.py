@@ -1,5 +1,7 @@
 """Predictor interface, statistics, and the trace-driven simulator."""
 
+import time
+
 from repro.vm.tracing import BranchClass
 
 
@@ -82,6 +84,34 @@ class PredictionStats:
             self.by_class_correct[key] = (
                 self.by_class_correct.get(key, 0) + value)
         return self
+
+    def as_dict(self):
+        """Plain-data form (JSON friendly, stable key order)."""
+        return {
+            "total": self.total,
+            "correct": self.correct,
+            "buffer_accesses": self.buffer_accesses,
+            "buffer_misses": self.buffer_misses,
+            "by_class_total": {
+                str(key): self.by_class_total[key]
+                for key in sorted(self.by_class_total)},
+            "by_class_correct": {
+                str(key): self.by_class_correct[key]
+                for key in sorted(self.by_class_correct)},
+        }
+
+    def __eq__(self, other):
+        """Field-for-field equality — the engines' bit-identity bar."""
+        if not isinstance(other, PredictionStats):
+            return NotImplemented
+        return (self.total == other.total
+                and self.correct == other.correct
+                and self.buffer_accesses == other.buffer_accesses
+                and self.buffer_misses == other.buffer_misses
+                and self.by_class_total == other.by_class_total
+                and self.by_class_correct == other.by_class_correct)
+
+    __hash__ = None
 
     def __repr__(self):
         return "PredictionStats(A=%.4f, rho=%.4f, n=%d)" % (
@@ -180,7 +210,7 @@ def site_report(predictor, trace, worst=10):
 
 
 def simulate(predictor, trace, flush_interval=None,
-             conditional_only=False, ras_returns=True):
+             conditional_only=False, ras_returns=True, engine=None):
     """Run ``predictor`` over a branch trace; returns PredictionStats.
 
     Args:
@@ -198,6 +228,11 @@ def simulate(predictor, trace, flush_interval=None,
             through the predictor like any branch (BTBs predict the
             *last* return target; the FS cannot predict them at all) —
             the ablation quantifying the RAS substitution.
+        engine: ``"scalar"``, ``"vector"``, or ``"auto"``; None uses
+            the process default (normally auto — see
+            :mod:`repro.kernels.engine`).  The engines are
+            bit-identical; only throughput and side effects differ
+            (the vector engine never mutates the predictor object).
 
     Returns:
         :class:`PredictionStats`.
@@ -205,6 +240,17 @@ def simulate(predictor, trace, flush_interval=None,
     Returns still count toward ``total`` either way (the paper's cost
     model charges every branch) unless ``conditional_only`` is set.
     """
+    from repro.kernels import resolve_engine, simulate_vector
+
+    resolved = resolve_engine(engine, predictor, trace, flush_interval)
+    started = time.perf_counter()
+    if resolved == "vector":
+        stats = simulate_vector(predictor, trace,
+                                conditional_only=conditional_only,
+                                ras_returns=ras_returns)
+        _report_simulation(predictor, stats, resolved, started)
+        return stats
+
     stats = PredictionStats()
     instructions_seen = 0
     next_flush = flush_interval
@@ -228,13 +274,27 @@ def simulate(predictor, trace, flush_interval=None,
         stats.record(branch_class, correct, prediction.hit)
         predictor.update(site, branch_class, taken, target)
 
-    from repro.telemetry.core import TELEMETRY
-    if TELEMETRY.enabled:
-        TELEMETRY.count("predictor.records", stats.total)
-        TELEMETRY.event(
-            "predictor.simulate", records=stats.total,
-            correct=stats.correct, accuracy=stats.accuracy,
-            buffer_misses=stats.buffer_misses,
-            miss_ratio=stats.miss_ratio,
-            **predictor.telemetry_stats())
+    _report_simulation(predictor, stats, resolved, started)
     return stats
+
+
+def _report_simulation(predictor, stats, engine, started):
+    """Telemetry for one simulation: per-engine record counters and a
+    ``predictor.simulate`` event carrying the resolved engine and its
+    throughput (the observability half of the speedup story; the
+    perf-regression gate in benchmarks/ does the enforcement)."""
+    from repro.telemetry.core import TELEMETRY
+    if not TELEMETRY.enabled:
+        return
+    elapsed = time.perf_counter() - started
+    TELEMETRY.count("predictor.records", stats.total)
+    TELEMETRY.count("predictor.records.%s" % engine, stats.total)
+    TELEMETRY.event(
+        "predictor.simulate", records=stats.total,
+        correct=stats.correct, accuracy=stats.accuracy,
+        buffer_misses=stats.buffer_misses,
+        miss_ratio=stats.miss_ratio,
+        engine=engine,
+        records_per_second=(stats.total / elapsed if elapsed > 0
+                            else None),
+        **predictor.telemetry_stats())

@@ -132,19 +132,23 @@ class BranchTrace:
 
     def stats(self):
         """Compute :class:`TraceStats` over all records."""
+        from repro.kernels.encode import EncodedTrace
+
+        encoded = EncodedTrace.of(self)
         stats = TraceStats()
         stats.total_instructions = self.total_instructions
-        for branch_class, taken in zip(self.classes, self.takens):
-            if branch_class == BranchClass.CONDITIONAL:
-                if taken:
-                    stats.conditional_taken += 1
-                else:
-                    stats.conditional_not_taken += 1
-            elif branch_class == BranchClass.UNCONDITIONAL_UNKNOWN:
-                stats.unconditional_unknown += 1
-            else:
-                # Direct jumps, calls, and returns all have known targets.
-                stats.unconditional_known += 1
+        conditional = encoded.classes == BranchClass.CONDITIONAL
+        taken_conditional = int(
+            np.count_nonzero(encoded.takens & conditional))
+        stats.conditional_taken = taken_conditional
+        stats.conditional_not_taken = (
+            int(np.count_nonzero(conditional)) - taken_conditional)
+        stats.unconditional_unknown = int(np.count_nonzero(
+            encoded.classes == BranchClass.UNCONDITIONAL_UNKNOWN))
+        # Direct jumps, calls, and returns all have known targets.
+        stats.unconditional_known = (
+            len(encoded) - stats.conditional
+            - stats.unconditional_unknown)
         return stats
 
     # -- serialisation -----------------------------------------------------------
@@ -162,7 +166,14 @@ class BranchTrace:
 
     @classmethod
     def from_arrays(cls, arrays):
-        """Rebuild a trace saved by :meth:`to_arrays`."""
+        """Rebuild a trace saved by :meth:`to_arrays`.
+
+        The arrays are already the columnar form the vector engine
+        wants, so the kernel encoding is stashed directly — a cached
+        trace never pays the list-to-array conversion again.
+        """
+        from repro.kernels.encode import EncodedTrace
+
         trace = cls()
         trace.sites = arrays["sites"].tolist()
         trace.classes = arrays["classes"].tolist()
@@ -170,6 +181,10 @@ class BranchTrace:
         trace.targets = arrays["targets"].tolist()
         trace.gaps = arrays["gaps"].tolist()
         trace.total_instructions = int(arrays["total_instructions"])
+        trace._encoded = EncodedTrace.from_columns(
+            arrays["sites"], arrays["classes"], arrays["takens"],
+            arrays["targets"], arrays["gaps"],
+            trace.total_instructions)
         return trace
 
 

@@ -211,6 +211,7 @@ def test_main_no_cache_skips_cache_dir_check(capsys, tmp_path,
     assert exit_code == 0
 
 
+@pytest.mark.slow
 def test_main_faults_matrix(capsys):
     exit_code = main(["faults", "--seeds", "1"])
     assert exit_code == 0
@@ -233,3 +234,49 @@ def test_main_cache_lists_corrupt_entries(capsys, tmp_path,
     assert main(["cache"]) == 0
     out = capsys.readouterr().out
     assert "(corrupt)" in out
+
+
+def test_main_cache_lists_stale_not_corrupt(capsys, tmp_path,
+                                            monkeypatch):
+    """Intact-but-unusable manifests are stale, not corrupt.
+
+    A manifest from a future schema, an old cache format, or an
+    unknown engine is a well-formed file this version cannot use —
+    "corrupt" is reserved for torn writes.  Regression: future-schema
+    manifests used to be reported corrupt.
+    """
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    assert main(["table1", "--scale", "0.05", "--runs", "1",
+                 "--benchmarks", "wc"]) == 0
+    manifest = next(tmp_path.glob("wc-*.manifest.json"))
+    genuine = json.loads(manifest.read_text())
+
+    def listing():
+        capsys.readouterr()
+        assert main(["cache"]) == 0
+        return capsys.readouterr().out
+
+    # Future manifest schema: loads as JSON, fails to parse.
+    manifest.write_text(json.dumps(
+        {"manifest_version": 99, "benchmark": "wc"}))
+    out = listing()
+    assert "(stale)" in out and "(corrupt)" not in out
+
+    # Old cache format version.
+    manifest.write_text(json.dumps(
+        dict(genuine, format_version=genuine["format_version"] - 1)))
+    out = listing()
+    assert "(stale)" in out and "(corrupt)" not in out
+
+    # Engine this version does not know.
+    config = dict(genuine["config"], engine="warp")
+    manifest.write_text(json.dumps(dict(genuine, config=config)))
+    out = listing()
+    assert "(stale)" in out and "(corrupt)" not in out
+
+    # The untouched manifest still lists clean.
+    manifest.write_text(json.dumps(genuine))
+    out = listing()
+    assert "(stale)" not in out and "(corrupt)" not in out

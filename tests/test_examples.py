@@ -47,6 +47,7 @@ def test_design_space(tmp_path, monkeypatch):
     assert "FS margin" in out
 
 
+@pytest.mark.slow
 def test_context_switch_robustness(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     out = run_example("context_switch_robustness.py",

@@ -130,6 +130,7 @@ def test_bit_flip_changes_exactly_one_byte(tmp_path):
     assert len(differing) == 1
 
 
+@pytest.mark.slow
 def test_fault_matrix_one_seed_all_kinds(tmp_path):
     report = run_fault_matrix(seeds=1, base_dir=str(tmp_path))
     assert len(report.cases) == len(FAULT_KINDS)

@@ -7,6 +7,8 @@ in one shared namespace, in order.
 import re
 from pathlib import Path
 
+import pytest
+
 TUTORIAL = Path(__file__).resolve().parents[1] / "docs" / "TUTORIAL.md"
 
 
@@ -14,6 +16,7 @@ def _python_blocks(text):
     return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
 
 
+@pytest.mark.slow
 def test_tutorial_blocks_execute():
     text = TUTORIAL.read_text()
     blocks = _python_blocks(text)
