@@ -30,7 +30,23 @@ if [ "$run_lint" = 1 ]; then
     else
         echo "== ruff not installed: skipping lint =="
     fi
+    if command -v mypy >/dev/null 2>&1; then
+        echo "== mypy (strict: repro.analysis, repro.kernels) =="
+        MYPYPATH=src mypy --strict -p repro.analysis -p repro.kernels
+    elif python -c "import mypy" >/dev/null 2>&1; then
+        echo "== mypy (module; strict: repro.analysis, repro.kernels) =="
+        MYPYPATH=src python -m mypy --strict \
+            -p repro.analysis -p repro.kernels
+    else
+        echo "== mypy not installed: skipping type check =="
+    fi
 fi
+
+echo "== IR diagnostics gate (lint --strict) =="
+# The diagnostics engine must stay clean — errors AND warnings — on
+# the whole compiled/optimized/laid-out benchmark corpus.  Info-level
+# findings (unreachable code, hoisting candidates) never fail.
+PYTHONPATH=src python -m repro lint --strict
 
 echo "== tier-1 tests =="
 # Fast path deselects tests marked slow; --full runs them too.

@@ -1,0 +1,47 @@
+"""Whole-pipeline IR diagnostics.
+
+A structured findings framework (:mod:`.findings`) unifying the
+structural verifier with analysis rules (:mod:`.rules`) behind one
+engine (:mod:`.engine`); drives ``repro-branches lint`` including its
+``--json`` and ``--strict`` modes.
+"""
+
+from repro.analysis.diagnostics.engine import (
+    DiagnosticsReport,
+    run_diagnostics,
+)
+from repro.analysis.diagnostics.findings import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    from_diagnostic,
+    line_of,
+)
+from repro.analysis.diagnostics.rules import (
+    degenerate_branches,
+    loop_invariant_branches,
+    slot_regions,
+    slot_use_before_def,
+    squash_unsafe_slots,
+    unreachable_after_layout,
+)
+
+__all__ = [
+    "DiagnosticsReport",
+    "ERROR",
+    "Finding",
+    "INFO",
+    "SEVERITIES",
+    "WARNING",
+    "degenerate_branches",
+    "from_diagnostic",
+    "line_of",
+    "loop_invariant_branches",
+    "run_diagnostics",
+    "slot_regions",
+    "slot_use_before_def",
+    "squash_unsafe_slots",
+    "unreachable_after_layout",
+]

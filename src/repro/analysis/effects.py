@@ -2,9 +2,12 @@
 
 Every dataflow analysis needs to know, per instruction, which
 registers are read and which register (at most one in this ISA) is
-written.  The tables here mirror the interpreter loop in
-:mod:`repro.vm.machine` exactly — `tests/test_dataflow.py` cross-checks
-them against the opcode documentation.
+written.  The model is a *total* table: :data:`OPCODE_EFFECTS` has one
+:class:`Effect` row per :class:`~repro.isa.opcodes.Opcode`, and the
+accessors raise ``KeyError`` on an opcode missing from it rather than
+silently defaulting — `tests/test_effects_coverage.py` asserts the
+table covers the ISA exactly, so adding an opcode without classifying
+it fails the build.
 
 Register frames are *private per activation*: ``CALL`` gives the
 callee a fresh frame seeded with the staged ``ARG`` values
@@ -17,11 +20,118 @@ consequences for analysis:
   crosses a function boundary (see :mod:`repro.analysis.dataflow`).
 """
 
-from repro.isa.opcodes import (
-    ALU_OPCODES,
-    CONDITIONAL_BRANCHES,
-    Opcode,
-)
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+
+class Effect:
+    """Architectural effects of one opcode.
+
+    Attributes:
+        reads: operand fields the opcode reads registers from, in
+            reporting order (a subset of ``("a", "b")``).
+        writes_dest: True when the opcode writes the ``dest`` register.
+        pure: True when writing ``dest`` is the *only* effect — no
+            memory, I/O, control, or staging side effects and no
+            possible runtime fault.  A pure write to a dead register
+            may be deleted.
+        faults: the opcode can raise a runtime fault (bad address,
+            zero divisor, bad table index).
+        io: the opcode consumes input or produces output.
+        memory: the opcode writes data memory.
+        control: the opcode can transfer control (branches and HALT).
+        stages: the opcode stages call/return traffic (ARG, RETV).
+    """
+
+    __slots__ = ("reads", "writes_dest", "pure", "faults", "io",
+                 "memory", "control", "stages")
+
+    def __init__(self, reads: Tuple[str, ...] = (),
+                 writes_dest: bool = False, pure: bool = False,
+                 faults: bool = False, io: bool = False,
+                 memory: bool = False, control: bool = False,
+                 stages: bool = False) -> None:
+        self.reads = reads
+        self.writes_dest = writes_dest
+        self.pure = pure
+        self.faults = faults
+        self.io = io
+        self.memory = memory
+        self.control = control
+        self.stages = stages
+
+    def __repr__(self) -> str:
+        flags = [name for name in ("pure", "faults", "io", "memory",
+                                   "control", "stages")
+                 if getattr(self, name)]
+        return "Effect(reads=%r, writes_dest=%r%s)" % (
+            self.reads, self.writes_dest,
+            (", " + ", ".join(flags)) if flags else "")
+
+
+def _alu2(faults: bool = False) -> Effect:
+    """A two-operand ALU effect (dest <- a OP b)."""
+    return Effect(reads=("a", "b"), writes_dest=True, pure=not faults,
+                  faults=faults)
+
+
+def _branch2() -> Effect:
+    """A conditional compare-and-branch effect."""
+    return Effect(reads=("a", "b"), control=True)
+
+
+#: The total opcode -> :class:`Effect` classification.  Every opcode of
+#: the ISA appears exactly once; the accessors below index it without a
+#: default, so an unclassified opcode raises instead of being treated
+#: as effect-free.
+OPCODE_EFFECTS: Dict[Opcode, Effect] = {
+    # Data movement.
+    Opcode.LI: Effect(writes_dest=True, pure=True),
+    Opcode.MOV: Effect(reads=("a",), writes_dest=True, pure=True),
+    Opcode.LOAD: Effect(reads=("a",), writes_dest=True, faults=True),
+    Opcode.STORE: Effect(reads=("a", "b"), memory=True, faults=True),
+    # Arithmetic / logic.
+    Opcode.ADD: _alu2(),
+    Opcode.SUB: _alu2(),
+    Opcode.MUL: _alu2(),
+    Opcode.DIV: _alu2(faults=True),
+    Opcode.REM: _alu2(faults=True),
+    Opcode.AND: _alu2(),
+    Opcode.OR: _alu2(),
+    Opcode.XOR: _alu2(),
+    Opcode.SHL: _alu2(),
+    Opcode.SHR: _alu2(),
+    Opcode.NEG: Effect(reads=("a",), writes_dest=True, pure=True),
+    Opcode.NOT: Effect(reads=("a",), writes_dest=True, pure=True),
+    # Conditional compare-and-branch.
+    Opcode.BEQ: _branch2(),
+    Opcode.BNE: _branch2(),
+    Opcode.BLT: _branch2(),
+    Opcode.BLE: _branch2(),
+    Opcode.BGT: _branch2(),
+    Opcode.BGE: _branch2(),
+    # Unconditional control transfer.  CALL/RET touch no caller
+    # register (frames are private); JIND reads the jump register.
+    Opcode.JUMP: Effect(control=True),
+    Opcode.CALL: Effect(control=True),
+    Opcode.RET: Effect(control=True),
+    Opcode.JIND: Effect(reads=("a",), control=True),
+    # Call/return data movement.
+    Opcode.ARG: Effect(reads=("a",), stages=True),
+    Opcode.RETV: Effect(reads=("a",), stages=True),
+    Opcode.RESULT: Effect(writes_dest=True, pure=True),
+    # Jump-table lookup (faults on a bad index).
+    Opcode.TABLE: Effect(reads=("a",), writes_dest=True, faults=True),
+    # I/O and termination.
+    Opcode.GETC: Effect(writes_dest=True, io=True),
+    Opcode.PUTC: Effect(reads=("a",), io=True),
+    Opcode.PUTI: Effect(reads=("a",), io=True),
+    Opcode.HALT: Effect(control=True),
+    Opcode.NOP: Effect(),
+}
 
 # Opcodes whose only architectural effect is writing ``dest`` — no
 # memory, I/O, or control side effects, and no possible runtime fault.
@@ -29,64 +139,59 @@ from repro.isa.opcodes import (
 # LOAD, DIV, REM, TABLE, and GETC are excluded: the first four can
 # fault (bad address, zero divisor, bad table index) and GETC consumes
 # an input byte.
-PURE_WRITE_OPCODES = frozenset({
-    Opcode.LI, Opcode.MOV,
-    Opcode.ADD, Opcode.SUB, Opcode.MUL,
-    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
-    Opcode.NEG, Opcode.NOT,
-    Opcode.RESULT,
-})
-
-_READS_A = frozenset(
-    {Opcode.MOV, Opcode.LOAD, Opcode.NEG, Opcode.NOT, Opcode.JIND,
-     Opcode.ARG, Opcode.RETV, Opcode.TABLE, Opcode.PUTC, Opcode.PUTI}
-    | (ALU_OPCODES - {Opcode.NEG, Opcode.NOT})
-    | CONDITIONAL_BRANCHES
-)
-
-_READS_B = frozenset(
-    (ALU_OPCODES - {Opcode.NEG, Opcode.NOT}) | CONDITIONAL_BRANCHES
-)
-
-_WRITES_DEST = frozenset({
-    Opcode.LI, Opcode.MOV, Opcode.LOAD,
-    Opcode.RESULT, Opcode.TABLE, Opcode.GETC,
-} | ALU_OPCODES)
+PURE_WRITE_OPCODES: FrozenSet[Opcode] = frozenset(
+    op for op, effect in OPCODE_EFFECTS.items() if effect.pure)
 
 
-def registers_read(instr):
+def registers_read(instr: Instruction) -> Tuple[int, ...]:
     """Registers the instruction reads, as a tuple (possibly empty).
 
     ``STORE`` reads both its value (``a``) and its base (``b``);
-    everything else reads ``a`` and/or ``b`` per the opcode tables.
+    everything else reads ``a`` and/or ``b`` per the opcode table.
+    Raises ``KeyError`` for an opcode missing from the table.
     """
-    op = instr.op
-    if op is Opcode.STORE:
-        reads = (instr.a, instr.b)
-    else:
-        reads = ()
-        if op in _READS_A:
-            reads = (instr.a,)
-        if op in _READS_B:
-            reads = reads + (instr.b,)
+    effect = OPCODE_EFFECTS[instr.op]
+    reads = tuple(getattr(instr, field) for field in effect.reads)
     # Malformed instructions may miss an operand; the verifier reports
     # those separately, the analyses just skip the hole.
     return tuple(register for register in reads if register is not None)
 
 
-def register_written(instr):
-    """The register the instruction writes, or None."""
-    if instr.op in _WRITES_DEST:
+def register_written(instr: Instruction) -> Optional[int]:
+    """The register the instruction writes, or None.
+
+    Raises ``KeyError`` for an opcode missing from the table.
+    """
+    if OPCODE_EFFECTS[instr.op].writes_dest:
         return instr.dest
     return None
 
 
-def is_pure_write(instr):
+def is_pure_write(instr: Instruction) -> bool:
     """True when the instruction's only effect is writing ``dest``."""
-    return instr.op in PURE_WRITE_OPCODES
+    return OPCODE_EFFECTS[instr.op].pure
 
 
-def function_entry_addresses(program):
+def is_squash_safe(instr: Instruction) -> bool:
+    """True when squashing hardware can cancel the instruction cleanly.
+
+    A forward-slot instruction is fetched down the predicted-taken
+    path and must be *squashed* when the branch falls through.  Pure
+    register writes squash for free (the rename/writeback stage simply
+    drops them), control transfers squash by redirecting fetch, and a
+    NOP has nothing to cancel.  Anything whose effect escapes the
+    register file before commit — memory writes, I/O, argument/return
+    staging, a possible runtime fault, or stopping the machine — needs
+    squash support the paper's forward-slot hardware does not model,
+    and is flagged by the ``squash-unsafe-slot`` diagnostics rule.
+    """
+    effect = OPCODE_EFFECTS[instr.op]
+    if effect.pure or instr.op is Opcode.NOP:
+        return True
+    return instr.is_branch
+
+
+def function_entry_addresses(program: Program) -> Dict[int, str]:
     """Map of function entry address -> function name.
 
     Requires a resolved program.
@@ -97,7 +202,7 @@ def function_entry_addresses(program):
     }
 
 
-def function_argument_counts(program):
+def function_argument_counts(program: Program) -> Dict[int, int]:
     """Upper bound on the argument registers each function receives.
 
     The machine seeds a callee's frame with ``r0..rK`` where K is the

@@ -1,0 +1,125 @@
+"""StaticProfile — estimated profiles, drop-in for measured ones.
+
+:func:`estimate_profile` runs the heuristic branch predictor and the
+frequency propagation, then quantises the resulting expected
+frequencies into the integer-count shape of
+:class:`repro.profiling.profiler.Profile`.  Everything downstream of
+profiling — trace selection, layout, likely bits, forward slots, the
+FS cost model — consumes Profile's count dictionaries and ratios, so a
+StaticProfile flows through the whole `traceopt` pipeline unmodified
+and no profiling run is ever needed.
+
+Quantisation invariants the optimiser relies on:
+
+* every count is a non-negative ``int``;
+* ``branch_execs[site]`` equals the branch block's ``block_counts``
+  entry, and ``0 <= branch_taken[site] <= branch_execs[site]`` — so
+  trace selection's fall-through weight ``execs - taken`` is never
+  negative and ``taken_fraction`` reproduces the estimated
+  probability to quantisation accuracy;
+* a reachable block never quantises to zero (its count is floored at
+  1) so layout keeps it placeable.
+"""
+
+from typing import Dict, Optional
+
+from repro.analysis.dataflow import FlowGraph
+from repro.analysis.staticpred.frequency import (
+    StaticFrequencies,
+    program_frequencies,
+)
+from repro.analysis.staticpred.heuristics import (
+    BranchEstimate,
+    predict_branches,
+)
+from repro.cfg import ControlFlowGraph
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.profiling.profiler import Profile
+
+#: Integer counts per unit of estimated frequency.  One "run" of the
+#: entry function becomes 10 000 counts, so probabilities survive
+#: quantisation to 4 decimal places.
+DEFAULT_SCALE = 10_000
+
+
+class StaticProfile(Profile):
+    """A :class:`Profile` synthesised from static analysis.
+
+    Behaves exactly like a measured profile (same count dictionaries,
+    same query methods); additionally carries the per-branch
+    :class:`BranchEstimate` map and the propagated
+    :class:`StaticFrequencies` for reporting, plus ``source =
+    "static"`` so manifests and cache entries can record provenance.
+    """
+
+    source = "static"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.estimates: Dict[int, BranchEstimate] = {}
+        self.frequencies: Optional[StaticFrequencies] = None
+        self.scale: int = DEFAULT_SCALE
+
+    def __repr__(self) -> str:
+        return ("StaticProfile(%d blocks, %d cond sites, scale=%d)"
+                % (len(self.block_counts), len(self.branch_execs),
+                   self.scale))
+
+
+def estimate_profile(program: Program,
+                     cfg: Optional[ControlFlowGraph] = None,
+                     scale: int = DEFAULT_SCALE) -> StaticProfile:
+    """Estimate an execution profile from the IR alone.
+
+    The returned :class:`StaticProfile` is drop-in compatible with
+    :func:`repro.profiling.profiler.profile_program` output — pass it
+    to ``build_fs_program`` / ``lay_out_traces`` unchanged.
+    """
+    if scale < 1:
+        raise ValueError("scale must be a positive integer")
+    if cfg is None:
+        cfg = ControlFlowGraph.from_program(program)
+    graph = FlowGraph(cfg)
+    estimates = predict_branches(program, cfg=cfg, graph=graph)
+    frequencies = program_frequencies(program, estimates, cfg=cfg,
+                                      graph=graph)
+
+    profile = StaticProfile()
+    profile.estimates = estimates
+    profile.frequencies = frequencies
+    profile.scale = scale
+    profile.runs = 1
+
+    counts: Dict[int, int] = {}
+    for leader, frequency in frequencies.block_freq.items():
+        count = int(round(frequency * scale))
+        # Reachable blocks stay visible to layout even when the
+        # estimate rounds to nothing.
+        counts[leader] = max(count, 1)
+    profile.block_counts = counts
+
+    for block in cfg.blocks:
+        site = block.end - 1
+        terminator = program.instructions[site]
+        block_count = counts.get(block.start, 0)
+        if terminator.is_conditional:
+            estimate = estimates.get(site)
+            probability = (estimate.taken_probability
+                           if estimate is not None else 0.5)
+            execs = block_count
+            taken = min(execs, max(0, int(round(execs * probability))))
+            profile.branch_execs[site] = execs
+            profile.branch_taken[site] = taken
+            if block.taken_target is not None and taken > 0:
+                profile.edge_counts[(site, block.taken_target)] = taken
+        elif terminator.op in (Opcode.JUMP, Opcode.CALL) \
+                and block_count > 0:
+            target = terminator.target
+            if isinstance(target, int):
+                profile.edge_counts[(site, target)] = block_count
+
+    profile.total_instructions = sum(
+        counts.get(block.start, 0) * (block.end - block.start)
+        for block in cfg.blocks)
+    return profile

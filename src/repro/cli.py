@@ -9,7 +9,10 @@ Examples::
     repro-branches profile wc --telemetry
     repro-branches cache
     repro-branches lint --benchmarks wc grep
+    repro-branches lint --strict --json
     repro-branches lint --file program.asm
+    repro-branches staticpred
+    repro-branches table3 --profile-source static
     python -m repro table5 --no-cache
 """
 
@@ -20,6 +23,7 @@ import sys
 from repro.experiments import (
     figures,
     headline,
+    staticpred,
     storage,
     summary,
     sweeps,
@@ -40,6 +44,7 @@ _EXPERIMENTS = {
     "figures": figures.render,
     "headline": headline.render,
     "storage": storage.render,
+    "staticpred": staticpred.render,
     "sweeps": sweeps.render,
     "report": summary.render,
 }
@@ -105,6 +110,14 @@ def build_parser():
                         help="write the result to a file instead of stdout")
     parser.add_argument("--limit", type=int, default=25,
                         help="records to show for 'trace' (default 25)")
+    parser.add_argument("--profile-source", choices=("measured", "static"),
+                        default="measured",
+                        help="profile driving trace layout: 'measured' "
+                             "profiles each benchmark on its input "
+                             "suite (the paper's setup); 'static' "
+                             "estimates it from the IR alone — the "
+                             "profiler is never invoked and manifests "
+                             "record the source")
     parser.add_argument("--engine", choices=("auto", "scalar", "vector"),
                         default="auto",
                         help="simulation engine: 'vector' runs the "
@@ -127,9 +140,12 @@ def build_parser():
                              "instead of the benchmark suite")
     parser.add_argument("--no-warnings", action="store_true",
                         help="for 'lint': report only errors")
+    parser.add_argument("--strict", action="store_true",
+                        help="for 'lint': exit non-zero on warnings "
+                             "too (info findings never fail)")
     parser.add_argument("--json", action="store_true",
-                        help="for 'stats' and 'cache': emit the "
-                             "machine-readable JSON payload")
+                        help="for 'lint', 'stats' and 'cache': emit "
+                             "the machine-readable JSON payload")
     parser.add_argument("--seeds", type=int, default=None,
                         help="for 'conformance': fuzz seeds to replay "
                              "differentially (default 50); for "
@@ -182,19 +198,62 @@ def _dump_trace(runner, names, limit):
     return "\n".join(lines) + "\n"
 
 
-def _lint(names, file_path, show_warnings=True):
-    """Verify benchmark programs (or one assembly file).
+def _lint_stages(label, program):
+    """Diagnose one program at every applicable pipeline stage.
 
-    Each program is checked twice: as compiled, and again after the
-    optimizer pipeline (with the pipeline's own verification off, so a
-    broken pass shows up here as diagnostics rather than an exception).
-    Returns (report text, exit code).  Exit codes: 0 clean, 1
-    diagnosed errors, 2 bad input (missing file, assembly syntax
-    error, unknown benchmark).
+    Yields (stage, :class:`DiagnosticsReport`) plus synthetic
+    crash reports: an optimizer or layout crash is reported at its
+    stage and linting continues, so one broken pass never hides the
+    other stages' findings.  The later stages only run while the
+    earlier ones are error-free (diagnosing the optimized form of an
+    already-invalid program would double-report every error).
     """
-    from repro.analysis.verify import verify_program
-    from repro.isa.assembler import AssemblyError
+    from repro.analysis.diagnostics import run_diagnostics
+    from repro.analysis.staticpred import estimate_profile
     from repro.opt import optimize
+    from repro.traceopt.layout import build_fs_program
+
+    report = run_diagnostics(program, stage="compiled", name=label)
+    yield "compiled", report, None
+    if not report.ok:
+        return
+    try:
+        optimized, _ = optimize(program, verify=False)
+    except Exception as error:  # optimizer crash: report, keep linting
+        yield "optimized", None, "optimizer failed: %s" % error
+        return
+    report = run_diagnostics(optimized, stage="optimized", name=label)
+    yield "optimized", report, None
+    if not report.ok:
+        return
+    try:
+        result = build_fs_program(optimized,
+                                  estimate_profile(optimized),
+                                  verify=False)
+    except Exception as error:  # layout crash: same containment
+        yield "layout", None, "layout failed: %s" % error
+        return
+    yield "layout", run_diagnostics(result.program, stage="layout",
+                                    name=label, layout=result,
+                                    original=optimized), None
+
+
+def _lint(names, file_path, show_warnings=True, strict=False,
+          as_json=False):
+    """Diagnose benchmark programs (or one assembly file).
+
+    Each program runs through the diagnostics engine at three stages:
+    as compiled, after the optimizer pipeline, and after static-profile
+    trace layout (each pass's own verification off, so a broken pass
+    shows up here as findings rather than an exception).  Returns
+    (report text, exit code).  Exit codes: 0 clean, 1 diagnosed
+    errors (with ``strict`` also warnings), 2 bad input (missing
+    file, assembly syntax error, unknown benchmark) or an analysis
+    crash.
+    """
+    import json as json_module
+
+    from repro.isa.assembler import AssemblyError
 
     targets = []
     if file_path:
@@ -220,30 +279,51 @@ def _lint(names, file_path, show_warnings=True):
             targets.append((name, compile_source(spec.source, name=name)))
 
     lines = []
+    reports = []
     error_count = 0
+    strict_count = 0
     for label, program in targets:
-        stages = [("compiled", program)]
         try:
-            optimized, _ = optimize(program, verify=False)
-            stages.append(("optimized", optimized))
-        except Exception as error:  # optimizer crash: report, keep linting
-            lines.append("%s: optimizer failed: %s" % (label, error))
-            error_count += 1
-        for stage, candidate in stages:
-            diagnostics = verify_program(candidate)
-            if not show_warnings:
-                diagnostics = [diagnostic for diagnostic in diagnostics
-                               if diagnostic.is_error]
-            error_count += sum(diagnostic.is_error
-                               for diagnostic in diagnostics)
-            for diagnostic in diagnostics:
-                lines.append("%s (%s): %s" % (label, stage, diagnostic))
+            stage_results = list(_lint_stages(label, program))
+        except Exception as error:  # analysis crash on malformed IR
+            return ("lint: internal error analysing %s: %s: %s\n"
+                    % (label, type(error).__name__, error)), 2
+        for stage, report, crash in stage_results:
+            if crash is not None:
+                error_count += 1
+                strict_count += 1
+                lines.append("%s: %s" % (label, crash))
+                reports.append({"name": label, "stage": stage,
+                                "crash": crash})
+                continue
+            findings = (report.findings if show_warnings
+                        else report.errors)
+            error_count += len(report.errors)
+            strict_count += sum(finding.fails_strict
+                                for finding in report.findings)
+            for finding in findings:
+                lines.append("%s (%s): %s" % (label, stage, finding))
+            reports.append(report.to_dict())
+
+    failures = strict_count if strict else error_count
+    if as_json:
+        payload = {
+            "programs": reports,
+            "strict": strict,
+            "failures": failures,
+            "clean": failures == 0,
+        }
+        text = json_module.dumps(payload, indent=2, sort_keys=True) + "\n"
+        return text, 1 if failures else 0
     lines.append("linted %d program%s: %s"
                  % (len(targets), "" if len(targets) == 1 else "s",
                     ("%d error%s" % (error_count,
                                      "" if error_count == 1 else "s"))
-                    if error_count else "clean"))
-    return "\n".join(lines) + "\n", 1 if error_count else 0
+                    if error_count else
+                    ("clean, %d strict failure%s"
+                     % (strict_count, "" if strict_count == 1 else "s")
+                     if strict and strict_count else "clean")))
+    return "\n".join(lines) + "\n", 1 if failures else 0
 
 
 def _usage_error(message):
@@ -370,7 +450,8 @@ def main(argv=None):
         return invalid
     if args.experiment == "lint":
         text, exit_code = _lint(args.benchmarks, args.file,
-                                show_warnings=not args.no_warnings)
+                                show_warnings=not args.no_warnings,
+                                strict=args.strict, as_json=args.json)
         _write_output(text, args.output)
         return exit_code
     if args.experiment == "cache":
@@ -417,7 +498,8 @@ def main(argv=None):
         runner = SuiteRunner(scale=args.scale, runs=args.runs,
                              cache_dir=False if args.no_cache else None,
                              verify=args.verify, event_log=event_log,
-                             engine=args.engine)
+                             engine=args.engine,
+                             profile_source=args.profile_source)
         names = ([args.target] if args.target else None) or args.benchmarks
         if args.workers > 1:
             from repro.benchmarksuite import ALL_BENCHMARK_NAMES

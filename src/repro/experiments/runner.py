@@ -77,6 +77,13 @@ from repro.vm import BranchTrace, run_program
 # one found).
 CACHE_FORMAT_VERSION = 3
 
+#: Where the profile driving trace layout comes from: ``measured``
+#: profiles the program on its input suite (the paper's setup);
+#: ``static`` estimates the profile from the IR alone
+#: (:func:`repro.analysis.staticpred.estimate_profile`) and never
+#: invokes the profiler.
+PROFILE_SOURCES = ("measured", "static")
+
 _VERSION_IN_STEM = re.compile(r"-v(\d+)-")
 
 _UNSET = object()
@@ -281,6 +288,11 @@ class SuiteRunner:
         engine: simulation engine (``auto``/``scalar``/``vector``) the
             runs' predictions use; recorded in run manifests so cached
             tables are traceable to the engine that produced them.
+        profile_source: ``"measured"`` (default) profiles each
+            benchmark on its input suite; ``"static"`` estimates the
+            profile from the IR alone — the profiler is never invoked,
+            cache stems carry a ``+static`` marker, and the source is
+            recorded in run manifests.
 
     After a parallel ``run_all``, :attr:`last_warm_report` holds the
     supervised warm's :class:`~repro.resilience.supervisor.RunReport`
@@ -290,13 +302,19 @@ class SuiteRunner:
     def __init__(self, scale=1.0, runs=None, cache_dir=None,
                  max_instructions=500_000_000, verify=True,
                  event_log=None, warm_timeout=600.0, warm_retries=2,
-                 lock_timeout=600.0, engine="auto"):
+                 lock_timeout=600.0, engine="auto",
+                 profile_source="measured"):
         if engine not in ENGINES:
             raise ValueError("unknown engine %r (expected one of %s)"
                              % (engine, ", ".join(ENGINES)))
+        if profile_source not in PROFILE_SOURCES:
+            raise ValueError(
+                "unknown profile source %r (expected one of %s)"
+                % (profile_source, ", ".join(PROFILE_SOURCES)))
         self.scale = scale
         self.runs = runs
         self.engine = engine
+        self.profile_source = profile_source
         if cache_dir is False:
             self.cache_dir = None
         else:
@@ -319,11 +337,21 @@ class SuiteRunner:
         # The source hash invalidates cached traces whenever the
         # benchmark program (or the compiler output feeding it) changes.
         digest = hashlib.sha1(source.encode()).hexdigest()[:10]
-        stem = "%s-s%s-r%d-v%d-%s" % (name, repr(self.scale), n_runs,
-                                      CACHE_FORMAT_VERSION, digest)
+        stem = "%s%s-s%s-r%d-v%d-%s" % (name, self._stem_marker(),
+                                        repr(self.scale), n_runs,
+                                        CACHE_FORMAT_VERSION, digest)
         stem = stem.replace(".", "_")
         return (self.cache_dir / (stem + ".npz"),
                 self.cache_dir / (stem + ".json"))
+
+    def _stem_marker(self):
+        """Cache-stem discriminator for non-default profile sources.
+
+        Static-profile entries carry different traces (the layout they
+        trace was driven by estimated counts), so they must never
+        collide with measured entries of the same benchmark.
+        """
+        return "" if self.profile_source == "measured" else "+static"
 
     def _report_stale_versions(self, name, n_runs, source):
         """Detect cache entries written under another format version.
@@ -336,8 +364,9 @@ class SuiteRunner:
         if self.cache_dir is None or not self.cache_dir.is_dir():
             return []
         digest = hashlib.sha1(source.encode()).hexdigest()[:10]
-        stem = ("%s-s%s-r%d-v*-%s"
-                % (name, repr(self.scale), n_runs, digest))
+        stem = ("%s%s-s%s-r%d-v*-%s"
+                % (name, self._stem_marker(), repr(self.scale), n_runs,
+                   digest))
         pattern = stem.replace(".", "_") + ".npz"
         stale = []
         for path in sorted(self.cache_dir.glob(pattern)):
@@ -552,7 +581,8 @@ class SuiteRunner:
             format_version=CACHE_FORMAT_VERSION,
             config={"scale": self.scale, "runs": n_runs,
                     "max_instructions": self.max_instructions,
-                    "verify": self.verify, "engine": self.engine},
+                    "verify": self.verify, "engine": self.engine,
+                    "profile_source": self.profile_source},
             git_sha=self._repo_git_sha(),
             stages=stages,
             event_log=self.event_log,
@@ -562,13 +592,33 @@ class SuiteRunner:
 
     def _execute(self, spec, program, n_runs, stages=None):
         """The two VM passes: profile the base program, trace the laid-out
-        program, verifying output equality along the way."""
+        program, verifying output equality along the way.
+
+        With ``profile_source="static"`` the first pass never invokes
+        the profiler: the profile is estimated from the IR, and the
+        baseline outputs come from plain (untraced, unprobed) runs of
+        the base program.
+        """
         if stages is None:
             stages = {}
         suite = spec.input_suite(scale=self.scale, runs=n_runs)
-        with _stage(stages, "profile", spec.name):
-            profile, base_outputs = profile_program(
-                program, suite, max_instructions=self.max_instructions)
+        if self.profile_source == "static":
+            from repro.analysis.staticpred import estimate_profile
+
+            with _stage(stages, "staticpred", spec.name):
+                profile = estimate_profile(program)
+            with _stage(stages, "baseline", spec.name):
+                base_outputs = [
+                    run_program(program, inputs=streams,
+                                max_instructions=self.max_instructions
+                                ).output
+                    for streams in suite
+                ]
+        else:
+            with _stage(stages, "profile", spec.name):
+                profile, base_outputs = profile_program(
+                    program, suite,
+                    max_instructions=self.max_instructions)
         with _stage(stages, "layout", spec.name):
             layout = build_fs_program(program, profile,
                                       verify=self.verify)
@@ -617,7 +667,7 @@ class SuiteRunner:
             return None
         tasks = [
             (name, (name, self.scale, self.runs, str(self.cache_dir),
-                    self.max_instructions))
+                    self.max_instructions, self.profile_source))
             for name in pending
         ]
         with TELEMETRY.span("runner.warm", benchmarks=len(pending),
@@ -638,8 +688,10 @@ class SuiteRunner:
 
 def _warm_cache_entry(arguments):
     """Worker: execute one benchmark so its trace cache exists."""
-    name, scale, runs, cache_dir, max_instructions = arguments
+    (name, scale, runs, cache_dir, max_instructions,
+     profile_source) = arguments
     runner = SuiteRunner(scale=scale, runs=runs, cache_dir=cache_dir,
-                         max_instructions=max_instructions)
+                         max_instructions=max_instructions,
+                         profile_source=profile_source)
     runner.run(name)
     return name

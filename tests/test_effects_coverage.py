@@ -1,0 +1,112 @@
+"""The effect table must classify the ISA totally and consistently.
+
+`OPCODE_EFFECTS` is the ground truth every dataflow analysis reads.
+These tests pin its two contracts: the table covers every opcode of
+the ISA exactly (adding an opcode without classifying it fails here),
+and the accessors raise on an unclassified opcode instead of silently
+treating it as effect-free.
+"""
+
+import pytest
+
+from repro.analysis.effects import (
+    OPCODE_EFFECTS,
+    PURE_WRITE_OPCODES,
+    is_pure_write,
+    is_squash_safe,
+    register_written,
+    registers_read,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    BRANCH_OPCODES,
+    CONDITIONAL_BRANCHES,
+    Opcode,
+)
+
+
+def test_effect_table_covers_the_isa_exactly():
+    assert set(OPCODE_EFFECTS) == set(Opcode)
+
+
+def test_every_opcode_has_exactly_one_row():
+    # dict keys are unique by construction; the real check is that no
+    # opcode was forgotten *and* nothing stale lingers after a rename.
+    assert len(OPCODE_EFFECTS) == len(list(Opcode))
+
+
+@pytest.mark.parametrize("op", list(Opcode), ids=lambda op: op.value)
+def test_accessors_answer_for_every_opcode(op):
+    instr = Instruction(op, dest=1, a=2, b=3, imm=0)
+    reads = registers_read(instr)
+    assert isinstance(reads, tuple)
+    written = register_written(instr)
+    assert written is None or isinstance(written, int)
+    assert isinstance(is_pure_write(instr), bool)
+    assert isinstance(is_squash_safe(instr), bool)
+
+
+def test_unclassified_opcode_raises_instead_of_defaulting():
+    class Fake:
+        op = object()  # not an Opcode, so not in the table
+        dest = a = b = 1
+
+    with pytest.raises(KeyError):
+        registers_read(Fake())
+    with pytest.raises(KeyError):
+        register_written(Fake())
+    with pytest.raises(KeyError):
+        is_pure_write(Fake())
+
+
+def test_pure_implies_only_a_dest_write():
+    for op, effect in OPCODE_EFFECTS.items():
+        if effect.pure:
+            assert effect.writes_dest, op
+            assert not (effect.faults or effect.io or effect.memory
+                        or effect.control or effect.stages), op
+
+
+def test_pure_write_opcodes_mirror_the_table():
+    assert PURE_WRITE_OPCODES == frozenset(
+        op for op, effect in OPCODE_EFFECTS.items() if effect.pure)
+
+
+def test_control_flag_matches_the_branch_classification():
+    # Every branch opcode transfers control; HALT is the one
+    # control-flow opcode that is not a branch.
+    for op in BRANCH_OPCODES:
+        assert OPCODE_EFFECTS[op].control, op
+    controls = {op for op, effect in OPCODE_EFFECTS.items()
+                if effect.control}
+    assert controls == BRANCH_OPCODES | {Opcode.HALT}
+
+
+def test_conditionals_read_both_comparison_operands():
+    for op in CONDITIONAL_BRANCHES:
+        assert OPCODE_EFFECTS[op].reads == ("a", "b"), op
+
+
+def test_squash_safety_partition():
+    # Pure writes, NOP, and branches squash cleanly; anything whose
+    # effect escapes the register file before commit does not.
+    safe = {op for op in Opcode
+            if is_squash_safe(Instruction(op, dest=1, a=2, b=3))}
+    assert safe == PURE_WRITE_OPCODES | BRANCH_OPCODES | {Opcode.NOP}
+    for op in (Opcode.STORE, Opcode.PUTI, Opcode.PUTC, Opcode.GETC,
+               Opcode.ARG, Opcode.RETV, Opcode.LOAD, Opcode.DIV,
+               Opcode.HALT):
+        assert not is_squash_safe(Instruction(op, dest=1, a=2, b=3)), op
+
+
+def test_store_reads_value_and_base():
+    instr = Instruction(Opcode.STORE, a=4, b=7, imm=0)
+    assert registers_read(instr) == (4, 7)
+    assert register_written(instr) is None
+
+
+def test_missing_operand_is_skipped_not_crashed():
+    # A malformed instruction (verifier territory) must not crash the
+    # analyses.
+    instr = Instruction(Opcode.ADD, dest=1, a=2, b=None)
+    assert registers_read(instr) == (2,)

@@ -1,0 +1,118 @@
+"""lint --strict / --json behaviour and crash containment.
+
+Complements tests/test_lint_clean.py (which keeps the benchmark corpus
+clean): these tests exercise the strict gate on a warning-carrying
+program, the machine-readable output, and the exit-2 one-line error
+path when the analysis itself crashes.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+# Carries a degenerate-branch *warning* but no errors: lint passes,
+# lint --strict must not.
+WARNING_ONLY = """func main:
+    li r1, 1
+    beq r1, r1, out
+    puti r1
+out:
+    halt
+"""
+
+
+@pytest.fixture
+def warning_file(tmp_path):
+    path = tmp_path / "warn.asm"
+    path.write_text(WARNING_ONLY)
+    return str(path)
+
+
+def test_warnings_pass_without_strict(warning_file, capsys):
+    exit_code = main(["lint", "--file", warning_file])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "[degenerate-branch]" in out
+    assert "clean" in out
+
+
+def test_strict_fails_on_warnings(warning_file, capsys):
+    exit_code = main(["lint", "--strict", "--file", warning_file])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "strict failure" in out
+
+
+def test_strict_passes_on_clean_benchmarks(capsys):
+    exit_code = main(["lint", "--strict", "--benchmarks", "wc", "tee"])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "clean" in out
+
+
+def test_json_output_is_machine_readable(capsys):
+    exit_code = main(["lint", "--json", "--benchmarks", "wc"])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 0
+    assert payload["clean"] is True
+    assert payload["strict"] is False
+    assert payload["failures"] == 0
+    # One program diagnosed at all three pipeline stages.
+    stages = [entry["stage"] for entry in payload["programs"]]
+    assert stages == ["compiled", "optimized", "layout"]
+    for entry in payload["programs"]:
+        assert entry["name"] == "wc"
+        assert set(entry["counts"]) == {"error", "warning", "info"}
+        assert isinstance(entry["findings"], list)
+
+
+def test_json_records_strict_failures(warning_file, capsys):
+    exit_code = main(["lint", "--strict", "--json", "--file",
+                      warning_file])
+    payload = json.loads(capsys.readouterr().out)
+    assert exit_code == 1
+    assert payload["clean"] is False
+    assert payload["strict"] is True
+    assert payload["failures"] >= 1
+    rules = [finding["rule"]
+             for entry in payload["programs"]
+             for finding in entry.get("findings", [])]
+    assert "degenerate-branch" in rules
+
+
+def test_json_findings_carry_the_full_shape(warning_file, capsys):
+    main(["lint", "--json", "--file", warning_file])
+    payload = json.loads(capsys.readouterr().out)
+    finding = next(finding for entry in payload["programs"]
+                   for finding in entry.get("findings", [])
+                   if finding["rule"] == "degenerate-branch")
+    assert set(finding) == {"rule", "severity", "message", "address",
+                            "line"}
+    assert finding["severity"] == "warning"
+    assert isinstance(finding["address"], int)
+
+
+def test_analysis_crash_exits_two_with_one_line(monkeypatch, capsys):
+    import repro.analysis.diagnostics as diagnostics
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(diagnostics, "run_diagnostics", explode)
+    exit_code = main(["lint", "--benchmarks", "wc"])
+    out = capsys.readouterr().out
+    assert exit_code == 2
+    assert "lint: internal error analysing wc: RuntimeError: boom" in out
+    assert "Traceback" not in out
+    # One line, not a stack dump.
+    assert len(out.strip().splitlines()) == 1
+
+
+def test_strict_flag_parses():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.parse_args(["lint"]).strict is False
+    assert parser.parse_args(["lint", "--strict"]).strict is True
