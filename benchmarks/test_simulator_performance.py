@@ -20,6 +20,7 @@ Two trajectory files are written next to the repo root on teardown:
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -32,6 +33,12 @@ from repro.predictors import (
     SimpleBTB,
     simulate,
 )
+from repro.telemetry.history import (
+    append_record,
+    flatten_bench_reports,
+    history_path,
+)
+from repro.telemetry.manifest import git_sha
 from repro.traceopt import build_fs_program, fill_forward_slots
 from repro.profiling import profile_program
 from repro.vm import Machine
@@ -67,6 +74,15 @@ def _write_bench_telemetry():
         path = _REPO_ROOT / "BENCH_kernels.json"
         path.write_text(json.dumps(_KERNEL_REPORT, indent=2,
                                    sort_keys=True) + "\n")
+    # Longitudinal trajectory: the snapshots above are overwritten in
+    # place, so each gate run also appends one flattened record to the
+    # append-only history (`repro-branches bench-history` reads it).
+    metrics = flatten_bench_reports(_TELEMETRY_REPORT, _KERNEL_REPORT)
+    if metrics:
+        append_record(history_path(_REPO_ROOT), metrics,
+                      git_sha=git_sha(_REPO_ROOT),
+                      scale=float(os.environ.get("REPRO_BENCH_SCALE",
+                                                 "0.1")))
 
 
 def test_vm_throughput(benchmark):

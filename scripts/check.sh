@@ -74,6 +74,13 @@ echo "== fault-injection smoke =="
 # fails if any injected fault is silently swallowed.
 PYTHONPATH=src python -m repro faults --seeds 10
 
+echo "== trace gate =="
+# Cross-process tracing: a 2-worker supervised sweep (with one
+# crash-and-retry worker) must merge into a single complete trace
+# tree — every attempt under its shard span, killed attempts adopted —
+# and the disabled-telemetry hot path must stay allocation-free.
+PYTHONPATH=src python scripts/trace_gate.py
+
 echo "== kernel bench gate =="
 # Scalar-vs-vector engines on the headline workload: fails on any
 # stats mismatch, a headline speedup under 5x, or vector throughput

@@ -1,0 +1,142 @@
+"""Cross-process trace gate + disabled-telemetry overhead smoke.
+
+Run by scripts/check.sh (``PYTHONPATH=src python scripts/trace_gate.py``).
+
+Two properties this gate pins down:
+
+1. **Trace completeness across the process boundary.**  A 2-worker
+   supervised sweep runs with telemetry and tracing on — including a
+   worker that dies mid-attempt and is retried — then the supervisor
+   log and the per-attempt shards are merged.  The resulting tree must
+   be complete (no orphan spans): every worker attempt parents under
+   its ``supervisor.shard`` span, and spans from the killed attempt
+   are adopted by their shard instead of dangling.
+2. **The disabled path stays free.**  With telemetry off, ``span()``
+   must return the shared ``NULL_SPAN`` and hot counter/histogram
+   calls must allocate nothing (measured with tracemalloc filtered to
+   the registry module) — the experiment pipeline pays one attribute
+   check, not garbage.
+"""
+
+import os
+import sys
+import tempfile
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(
+    0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.resilience.supervisor import run_supervised  # noqa: E402
+from repro.telemetry.core import NULL_SPAN, TELEMETRY  # noqa: E402
+from repro.telemetry.live import EventTail, SweepMonitor  # noqa: E402
+from repro.telemetry.sinks import JsonlSink  # noqa: E402
+from repro.telemetry.tracing import merge_trace, start_trace  # noqa: E402
+
+
+def _work(payload):
+    """Gate worker: one completed span, then optionally die once."""
+    label, crash_marker = payload
+    with TELEMETRY.span("gate.compute", task=str(label)):
+        total = sum(range(50_000))
+    if crash_marker is not None and not Path(crash_marker).exists():
+        Path(crash_marker).write_text("crashed once")
+        os._exit(13)    # killed inside the open worker.attempt span
+    return total
+
+
+def trace_gate(tmp):
+    log = tmp / "telemetry.jsonl"
+    traces = tmp / "traces"
+    marker = tmp / "crash-once.marker"
+    tasks = [("t%d" % index, ("t%d" % index, None))
+             for index in range(3)]
+    tasks.append(("flaky", ("flaky", str(marker))))
+
+    with JsonlSink(log) as sink:
+        TELEMETRY.enable(sink)
+        start_trace(TELEMETRY)
+        with TELEMETRY.span("gate.sweep"):
+            report = run_supervised(tasks, _work, workers=2,
+                                    retries=2, backoff=0.05,
+                                    trace_dir=traces)
+    TELEMETRY.disable().reset()
+
+    assert report.ok, "sweep failed: %s" % report.render()
+    assert "flaky" in report.retried, \
+        "crash-once worker was not retried: %s" % report.render()
+
+    tree = merge_trace([log, traces])
+    assert tree.complete, "orphan spans in merged trace:\n%s" \
+        % tree.render()
+    shards = tree.shards()
+    attempts = tree.attempts()
+    assert len(shards) == 5, \
+        "expected 5 shard spans (4 tasks + 1 retry), got %d" \
+        % len(shards)
+    shard_ids = {node.span_id for node in shards}
+    assert attempts, "no worker.attempt spans survived the merge"
+    for node in attempts:
+        assert node.parent_span_id in shard_ids, \
+            "attempt %s not parented under a shard span" % node.span_id
+    assert any(node.adopted for root in tree.roots
+               for node in root.walk()), \
+        "killed attempt left no adopted spans (adoption path untested)"
+
+    # The live monitor must fold the same recording deterministically.
+    renders = set()
+    for _ in range(2):
+        monitor = SweepMonitor()
+        monitor.observe_all(EventTail(paths=[log],
+                                      directory=traces).poll())
+        renders.add(monitor.render())
+    assert len(renders) == 1, "top --replay render is not deterministic"
+    assert "retried: flaky" in next(iter(renders))
+
+    print("trace gate: %d spans, %d shards, %d attempts, tree complete"
+          % (tree.span_count, len(shards), len(attempts)))
+
+
+def overhead_gate(iterations=2000):
+    TELEMETRY.disable().reset()
+    assert TELEMETRY.span("gate.hot") is NULL_SPAN, \
+        "disabled span() must return the shared NULL_SPAN"
+
+    from repro.telemetry import core
+
+    def hot_loop():
+        for _ in range(iterations):
+            TELEMETRY.count("gate.hot")
+            TELEMETRY.record("gate.hot", 1.0)
+            with TELEMETRY.span("gate.hot"):
+                pass
+            TELEMETRY.event("gate.hot")
+
+    hot_loop()      # warm up attribute caches before measuring
+    filters = [tracemalloc.Filter(True, core.__file__)]
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot().filter_traces(filters)
+    hot_loop()
+    after = tracemalloc.take_snapshot().filter_traces(filters)
+    tracemalloc.stop()
+    grown = sum(stat.size_diff
+                for stat in after.compare_to(before, "lineno"))
+    assert grown <= 0, \
+        "disabled-telemetry hot path allocated %d bytes over %d calls" \
+        % (grown, iterations)
+    print("overhead gate: disabled hot path allocation-free "
+          "(%d iterations)" % iterations)
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="trace-gate-") as tmp:
+        try:
+            trace_gate(Path(tmp))
+        finally:
+            TELEMETRY.disable().reset()
+    overhead_gate()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

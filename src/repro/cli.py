@@ -13,6 +13,9 @@ Examples::
     repro-branches lint --file program.asm
     repro-branches staticpred
     repro-branches table3 --profile-source static
+    repro-branches top --replay .repro-cache/telemetry.jsonl
+    repro-branches metrics --replay .repro-cache/traces
+    repro-branches bench-history --window 8 --threshold 0.2
     python -m repro table5 --no-cache
 """
 
@@ -56,7 +59,8 @@ _ORDER = ("table1", "table2", "table3", "table4", "table5", "figures",
 _TARGETED = ("stats", "profile", "trace")
 
 #: Subcommands that never touch the trace cache directory.
-_CACHELESS = ("lint", "cache", "faults")
+_CACHELESS = ("lint", "cache", "faults", "top", "metrics",
+              "bench-history")
 
 #: Distinct exit codes (0 = success, 1 = the experiment itself
 #: reported failures, e.g. lint errors or conformance divergence).
@@ -74,7 +78,9 @@ def build_parser():
                                                         "lint", "stats",
                                                         "profile", "cache",
                                                         "conformance",
-                                                        "faults"],
+                                                        "faults", "top",
+                                                        "metrics",
+                                                        "bench-history"],
                         help="which table/figure to regenerate; 'report' "
                              "renders everything as markdown; 'trace' "
                              "dumps a benchmark's branch trace; 'stats' "
@@ -94,7 +100,18 @@ def build_parser():
                              "recovery matrix (torn writes, bit flips, "
                              "ENOSPC, worker crash/hang, corrupt "
                              "manifests) and exits non-zero if any "
-                             "injected fault is silently swallowed")
+                             "injected fault is silently swallowed; "
+                             "'top' monitors a sweep live from its "
+                             "event log and trace shards (--replay "
+                             "renders a recorded log once); 'metrics' "
+                             "prints a Prometheus text-format "
+                             "exposition of the registry (--replay "
+                             "rebuilds it from a recorded log, --serve "
+                             "exposes /metrics over HTTP); "
+                             "'bench-history' reports the benchmark "
+                             "gates' longitudinal BENCH_history.jsonl "
+                             "against a rolling-median baseline and "
+                             "exits non-zero on flagged regressions")
     parser.add_argument("target", nargs="?", default=None,
                         help="benchmark name for 'stats', 'profile' and "
                              "'trace' (default wc)")
@@ -137,7 +154,10 @@ def build_parser():
                              "pipeline")
     parser.add_argument("--file", default=None,
                         help="for 'lint': verify this assembly file "
-                             "instead of the benchmark suite")
+                             "instead of the benchmark suite; for "
+                             "'bench-history': read this history file "
+                             "instead of BENCH_history.jsonl at the "
+                             "repo root")
     parser.add_argument("--no-warnings", action="store_true",
                         help="for 'lint': report only errors")
     parser.add_argument("--strict", action="store_true",
@@ -174,6 +194,26 @@ def build_parser():
                         help="JSONL event-log path when telemetry is on "
                              "(default: telemetry.jsonl under the trace "
                              "cache directory)")
+    parser.add_argument("--replay", default=None, metavar="LOG",
+                        help="for 'top' and 'metrics': read this "
+                             "recorded event log (a JSONL file or a "
+                             "directory of shards) instead of tailing "
+                             "the live cache-dir stream; the render is "
+                             "deterministic")
+    parser.add_argument("--serve", action="store_true",
+                        help="for 'metrics': serve /metrics over a "
+                             "stdlib HTTP server instead of printing "
+                             "one exposition")
+    parser.add_argument("--port", type=int, default=9464,
+                        help="for 'metrics --serve': listen port "
+                             "(default 9464)")
+    parser.add_argument("--window", type=int, default=None,
+                        help="for 'bench-history': rolling-baseline "
+                             "window in records (default 8)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="for 'bench-history': fractional rate "
+                             "drop below the rolling median that "
+                             "flags a regression (default 0.2)")
     return parser
 
 
@@ -326,6 +366,126 @@ def _lint(names, file_path, show_warnings=True, strict=False,
     return "\n".join(lines) + "\n", 1 if failures else 0
 
 
+def _top(args):
+    """'top': monitor a sweep from its event log and trace shards.
+
+    With ``--replay`` the recorded log (file or shard directory) is
+    folded once and the snapshot rendered — byte-for-byte
+    deterministic, since every derived figure comes from recorded
+    timestamps.  Without it, the live cache-dir stream is tailed and
+    redrawn until the supervisor reports done (or Ctrl-C).
+    """
+    import time
+    from pathlib import Path
+
+    from repro.telemetry.live import EventTail, SweepMonitor
+
+    monitor = SweepMonitor()
+    if args.replay:
+        source = Path(args.replay)
+        if not source.exists():
+            print("repro-branches: error: no such event log: %s"
+                  % source, file=sys.stderr)
+            return "", EXIT_BAD_ARGUMENT
+        tail = (EventTail(directory=source) if source.is_dir()
+                else EventTail(paths=[source],
+                               directory=source.parent / "traces"))
+        monitor.observe_all(tail.poll())
+        return monitor.render(), 0
+
+    from repro.experiments.runner import default_cache_dir
+
+    cache_dir = default_cache_dir()
+    tail = EventTail(paths=[cache_dir / "telemetry.jsonl"],
+                     directory=cache_dir / "traces")
+    last = None
+    try:
+        while True:
+            monitor.observe_all(tail.poll())
+            frame = monitor.render()
+            if frame != last:
+                sys.stdout.write("\x1b[2J\x1b[H" + frame)
+                sys.stdout.flush()
+                last = frame
+            if monitor.done and not monitor.in_flight:
+                break
+            time.sleep(0.5)
+    except KeyboardInterrupt:
+        pass
+    return "", 0
+
+
+def _metrics(args):
+    """'metrics': Prometheus text exposition of telemetry aggregates.
+
+    ``--replay`` rebuilds a registry from a recorded event log (or a
+    directory of shards): span events feed the duration histograms,
+    the ``telemetry.snapshot`` counter dumps restore counters summed
+    across processes.  ``--serve`` exposes /metrics over a stdlib
+    HTTP server until interrupted.
+    """
+    from pathlib import Path
+
+    from repro.telemetry.core import TELEMETRY, Telemetry
+    from repro.telemetry.exposition import (
+        prometheus_text,
+        replay_into,
+        serve_metrics,
+    )
+    from repro.telemetry.sinks import read_jsonl_tolerant
+
+    registry = TELEMETRY
+    if args.replay:
+        source = Path(args.replay)
+        if not source.exists():
+            print("repro-branches: error: no such event log: %s"
+                  % source, file=sys.stderr)
+            return "", EXIT_BAD_ARGUMENT
+        paths = (sorted(source.glob("*.jsonl")) if source.is_dir()
+                 else [source])
+        registry = Telemetry(enabled=True)
+        for path in paths:
+            events, _torn = read_jsonl_tolerant(path)
+            replay_into(registry, events)
+    if args.serve:
+        server = serve_metrics(registry, port=args.port)
+        print("serving http://%s:%d/metrics" % server.server_address,
+              file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return "", 0
+    return prometheus_text(registry.snapshot()), 0
+
+
+def _bench_history(args):
+    """'bench-history': the longitudinal perf report and its verdict.
+
+    Exit code 1 when the latest record regressed against its
+    rolling-median baseline — scriptable as a gate.
+    """
+    from pathlib import Path
+
+    import repro
+    from repro.telemetry import history as bench_history
+
+    path = (Path(args.file) if args.file
+            else bench_history.history_path(
+                Path(repro.__file__).resolve().parents[2]))
+    records = bench_history.load_history(path)
+    text, regressions = bench_history.render_history(
+        records,
+        threshold=(bench_history.DEFAULT_THRESHOLD
+                   if args.threshold is None else args.threshold),
+        window=(bench_history.DEFAULT_WINDOW
+                if args.window is None else args.window),
+        limit=args.limit)
+    return text, 1 if regressions else 0
+
+
 def _usage_error(message):
     """One-line diagnostic on stderr; returns the bad-argument code."""
     print("repro-branches: error: %s" % message, file=sys.stderr)
@@ -349,6 +509,15 @@ def _validate_args(args):
         return _usage_error("--seeds must be >= 1 (got %d)" % args.seeds)
     if args.limit < 1:
         return _usage_error("--limit must be >= 1 (got %d)" % args.limit)
+    if args.port < 1 or args.port > 65535:
+        return _usage_error("--port must be in 1..65535 (got %d)"
+                            % args.port)
+    if args.window is not None and args.window < 1:
+        return _usage_error("--window must be >= 1 (got %d)"
+                            % args.window)
+    if args.threshold is not None and not 0 < args.threshold < 1:
+        return _usage_error("--threshold must be in (0, 1) (got %g)"
+                            % args.threshold)
     if not args.no_cache and args.experiment not in _CACHELESS:
         from repro.experiments.runner import default_cache_dir
 
@@ -436,6 +605,12 @@ def _enable_telemetry(args):
         event_log = default_cache_dir() / "telemetry.jsonl"
     event_log.parent.mkdir(parents=True, exist_ok=True)
     TELEMETRY.enable(JsonlSink(event_log))
+    # Every telemetry run is a trace: spans get ids, supervised
+    # worker shards parent under this process's spans, and the merger
+    # can stitch the whole run back together.
+    from repro.telemetry.tracing import start_trace
+
+    start_trace(TELEMETRY)
     return event_log
 
 
@@ -459,6 +634,13 @@ def main(argv=None):
 
         _write_output(render_cache(as_json=args.json), args.output)
         return 0
+    if args.experiment in ("top", "metrics", "bench-history"):
+        handler = {"top": _top, "metrics": _metrics,
+                   "bench-history": _bench_history}[args.experiment]
+        text, exit_code = handler(args)
+        if text:
+            _write_output(text, args.output)
+        return exit_code
 
     from repro.kernels import set_default_engine
 
@@ -533,6 +715,10 @@ def main(argv=None):
         if event_log is not None:
             from repro.telemetry.core import TELEMETRY
 
+            # Dump the final counters so replay/`top` can rebuild them
+            # from the log alone (workers do the same on exit).
+            TELEMETRY.event("telemetry.snapshot",
+                            counters=TELEMETRY.snapshot()["counters"])
             if TELEMETRY.sink is not None:
                 TELEMETRY.sink.close()
             TELEMETRY.disable().reset()

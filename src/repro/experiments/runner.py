@@ -514,8 +514,11 @@ class SuiteRunner:
             TELEMETRY.event("cache.hit", benchmark=name,
                             path=str(trace_path))
         elif trace_path is None:
+            TELEMETRY.event("cache.miss", benchmark=name, path=None)
             profile, trace = self._execute(spec, program, n_runs, stages)
         else:
+            TELEMETRY.event("cache.miss", benchmark=name,
+                            path=str(trace_path))
             profile, trace, manifest = self._compute_locked(
                 spec, program, n_runs, trace_path, profile_path, stages)
 
@@ -670,13 +673,23 @@ class SuiteRunner:
                     self.max_instructions, self.profile_source))
             for name in pending
         ]
+        # Telemetry-enabled warms are traced across the process
+        # boundary: each attempt writes a JSONL shard under
+        # <cache>/traces that the merger (and `repro-branches top`)
+        # stitches under this runner.warm span.
+        trace_dir = None
+        if TELEMETRY.enabled:
+            from repro.telemetry.tracing import ensure_trace
+
+            ensure_trace(TELEMETRY)   # before the span, so it has an id
+            trace_dir = self.cache_dir / "traces"
         with TELEMETRY.span("runner.warm", benchmarks=len(pending),
                             workers=workers):
             report = run_supervised(
                 tasks, _warm_cache_entry,
                 workers=min(workers, len(pending)),
                 timeout=self.warm_timeout, retries=self.warm_retries,
-                backoff=0.25)
+                backoff=0.25, trace_dir=trace_dir)
         self.last_warm_report = report
         if not report.ok:
             TELEMETRY.count("runner.warm.partial_failures")

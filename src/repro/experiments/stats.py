@@ -28,11 +28,19 @@ def _target_names(names):
 
 
 def render_stats(runner, names=None, limit=25, as_json=False):
-    """Mispredict attribution for one (or several) benchmarks."""
+    """Mispredict attribution for one (or several) benchmarks.
+
+    With ``--telemetry --json`` the payload is wrapped with the live
+    registry snapshot, whose histograms carry the reservoir
+    percentiles (p50/p95/p99) — plain ``--json`` keeps the bare
+    attribution shape.
+    """
     payloads = [attribution_report(runner.run(name))
                 for name in _target_names(names)]
     if as_json:
         data = payloads[0] if len(payloads) == 1 else payloads
+        if TELEMETRY.enabled:
+            data = {"report": data, "telemetry": TELEMETRY.snapshot()}
         return json.dumps(data, indent=2, sort_keys=True) + "\n"
     return "\n".join(render_attribution(payload, limit=limit)
                      for payload in payloads)

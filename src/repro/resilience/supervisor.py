@@ -21,11 +21,22 @@ Workers are plain picklable callables.  The child wrapper re-arms the
 fault injector from the environment and announces the attempt number
 (``FAULTS.on_worker_start``), which is how the recovery matrix crashes
 or hangs a chosen attempt deterministically.
+
+When telemetry is enabled and a ``trace_dir`` is given, the run is
+**traced across the process boundary** (see
+:mod:`repro.telemetry.tracing`): each attempt receives a
+:class:`~repro.telemetry.tracing.TraceContext` in its spawn payload
+and writes its spans/events to a per-attempt JSONL shard under
+``trace_dir``; the supervisor emits one ``supervisor.shard`` span per
+attempt (retries and kills included) that the merger parents those
+shards under, plus ``supervisor.start``/``supervisor.done`` and
+``worker.spawn`` events the live ``top`` monitor feeds on.
 """
 
 import multiprocessing
 import random
 import time
+from pathlib import Path
 
 from repro.resilience.errors import WorkerFailure
 from repro.telemetry.core import TELEMETRY
@@ -126,15 +137,39 @@ class RunReport:
         return "RunReport(%s)" % self.render()
 
 
-def _child_main(worker, payload, label, attempt, queue):
-    """Worker-process entry: arm faults, run, report via the queue."""
+def _child_main(worker, payload, label, attempt, queue, trace=None):
+    """Worker-process entry: arm faults, run, report via the queue.
+
+    With a ``trace`` payload (trace id, shard span id, shard path) the
+    child's telemetry registry is re-pointed at its own line-buffered
+    JSONL shard — dropping whatever sink and aggregates it inherited
+    from the parent — so worker spans and counters survive the process
+    boundary instead of vanishing (or racing the parent's log).  The
+    whole attempt runs under a ``worker.attempt`` span parented on the
+    shard span, and a final ``telemetry.snapshot`` event carries the
+    child's counters out for cross-process aggregation.
+    """
     from repro.resilience.faults import FAULTS
 
+    sink = None
+    if trace is not None:
+        from repro.telemetry.sinks import JsonlSink
+        from repro.telemetry.tracing import TraceContext
+
+        TELEMETRY.reset()       # drop the sink inherited across fork
+        sink = JsonlSink(trace["shard"])
+        TELEMETRY.enable(sink)
+        TELEMETRY.set_trace_context(TraceContext.from_dict(trace))
     FAULTS.activate_from_env()
     if FAULTS.enabled:
         FAULTS.on_worker_start(label, attempt)
     try:
-        worker(payload)
+        if trace is not None:
+            with TELEMETRY.span("worker.attempt", task=str(label),
+                                attempt=attempt):
+                worker(payload)
+        else:
+            worker(payload)
     except BaseException as error:
         try:
             queue.put(("error", "%s: %s" % (type(error).__name__,
@@ -142,6 +177,13 @@ def _child_main(worker, payload, label, attempt, queue):
         except Exception:
             pass
         raise SystemExit(_WORKER_ERROR_EXIT) from error
+    finally:
+        if sink is not None:
+            TELEMETRY.event(
+                "telemetry.snapshot", task=str(label), attempt=attempt,
+                counters=TELEMETRY.snapshot()["counters"])
+            TELEMETRY.disable()
+            sink.close()
     queue.put(("ok", label))
 
 
@@ -149,17 +191,18 @@ class _Attempt:
     """One in-flight supervised process."""
 
     __slots__ = ("label", "payload", "attempt", "process", "queue",
-                 "deadline", "started")
+                 "deadline", "started", "trace")
 
     def __init__(self, context, worker, label, payload, attempt,
-                 timeout):
+                 timeout, trace=None):
         self.label = label
         self.payload = payload
         self.attempt = attempt
+        self.trace = trace
         self.queue = context.SimpleQueue()
         self.process = context.Process(
             target=_child_main,
-            args=(worker, payload, label, attempt, self.queue),
+            args=(worker, payload, label, attempt, self.queue, trace),
             daemon=True)
         self.started = time.monotonic()
         self.process.start()
@@ -199,7 +242,8 @@ def _backoff_seconds(backoff, attempt, rng):
 
 
 def run_supervised(tasks, worker, *, workers=2, timeout=None,
-                   retries=2, backoff=0.1, seed=0, context=None):
+                   retries=2, backoff=0.1, seed=0, context=None,
+                   trace_dir=None):
     """Run ``worker(payload)`` for every task under supervision.
 
     Args:
@@ -214,6 +258,10 @@ def run_supervised(tasks, worker, *, workers=2, timeout=None,
         seed: seeds the backoff jitter (determinism for tests).
         context: a ``multiprocessing`` context (tests may inject one);
             default is the platform default.
+        trace_dir: directory for per-attempt telemetry shards; when
+            given and telemetry is enabled, the run is traced across
+            the process boundary (see module docstring).  Ignored
+            while telemetry is off — tracing costs nothing then.
 
     Returns a :class:`RunReport`; never raises for task failures.
     """
@@ -227,9 +275,39 @@ def run_supervised(tasks, worker, *, workers=2, timeout=None,
     active = []
     results = {}
 
+    trace_ctx = None
+    if trace_dir is not None and TELEMETRY.enabled:
+        from repro.telemetry.tracing import ensure_trace
+
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace_ctx = ensure_trace(TELEMETRY)
+        TELEMETRY.event("supervisor.start", tasks=len(normalized),
+                        workers=workers, trace_dir=str(trace_dir))
+
     def _spawn(label, payload, attempt):
+        trace = None
+        if trace_ctx is not None:
+            from repro.telemetry.tracing import shard_path
+
+            shard = shard_path(trace_dir, trace_ctx.trace_id, label,
+                               attempt)
+            trace = {"trace_id": trace_ctx.trace_id,
+                     "span_id": TELEMETRY.allocate_span_id(),
+                     "shard": str(shard)}
+            TELEMETRY.event("worker.spawn", task=str(label),
+                            attempt=attempt, shard=shard.name,
+                            shard_span_id=trace["span_id"])
         return _Attempt(context, worker, label, payload, attempt,
-                        timeout)
+                        timeout, trace=trace)
+
+    def _finish_shard(item, status, elapsed):
+        if item.trace is not None:
+            from repro.telemetry.tracing import emit_shard_span
+
+            emit_shard_span(TELEMETRY, item.trace["span_id"],
+                            item.label, item.attempt, status, elapsed,
+                            Path(item.trace["shard"]).name)
 
     try:
         while pending or active:
@@ -256,6 +334,7 @@ def run_supervised(tasks, worker, *, workers=2, timeout=None,
                 else:
                     status, detail = item.finish()
                 elapsed = time.monotonic() - item.started
+                _finish_shard(item, status, elapsed)
                 previous = results.get(item.label)
                 seconds = (previous.seconds if previous else 0.0) \
                     + elapsed
@@ -296,7 +375,14 @@ def run_supervised(tasks, worker, *, workers=2, timeout=None,
                                             error=str(error)))
              for label, _payload in normalized],
             degraded=True)
+        TELEMETRY.event("supervisor.done",
+                        succeeded=len(report.succeeded),
+                        failed=len(report.failed), degraded=True)
         return report
 
-    return RunReport([results[label] for label, _payload in normalized
-                      if label in results], degraded=False)
+    report = RunReport([results[label]
+                        for label, _payload in normalized
+                        if label in results], degraded=False)
+    TELEMETRY.event("supervisor.done", succeeded=len(report.succeeded),
+                    failed=len(report.failed), degraded=False)
+    return report

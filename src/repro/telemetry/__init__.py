@@ -1,12 +1,24 @@
 """Observability for the experiment pipeline.
 
-Five pieces (see docs/OBSERVABILITY.md for the full guide):
+The pieces (see docs/OBSERVABILITY.md for the full guide):
 
 * :mod:`repro.telemetry.core` — the span/counter/histogram registry and
   its process-wide singleton :data:`TELEMETRY` (disabled by default;
   instrumented hot paths pay one attribute check until enabled);
 * :mod:`repro.telemetry.sinks` — event sinks: an in-memory aggregator
-  for tests/`profile`, a JSONL event log for runs;
+  for tests/`profile`, a crash-safe line-buffered JSONL event log for
+  runs, plus a torn-line-tolerant reader;
+* :mod:`repro.telemetry.tracing` — cross-process trace propagation:
+  trace contexts shipped into supervised workers, per-attempt JSONL
+  shards, and the merger that stitches them into one trace tree;
+* :mod:`repro.telemetry.live` — the tailing event bus and sweep
+  monitor behind ``repro-branches top``;
+* :mod:`repro.telemetry.exposition` — Prometheus text-format
+  exposition (``repro-branches metrics``) and the stdlib HTTP
+  exporter;
+* :mod:`repro.telemetry.history` — the append-only BENCH_history.jsonl
+  perf trajectory and its regression report
+  (``repro-branches bench-history``);
 * :mod:`repro.telemetry.manifest` — run manifests, the provenance
   records written next to cached artifacts;
 * :mod:`repro.telemetry.attribution` — per-site mispredict attribution
@@ -36,6 +48,14 @@ from repro.telemetry.sinks import (
     JsonlSink,
     Sink,
     read_jsonl,
+    read_jsonl_tolerant,
+)
+from repro.telemetry.tracing import (
+    TraceContext,
+    TraceTree,
+    merge_trace,
+    new_trace_id,
+    start_trace,
 )
 
 __all__ = [
@@ -53,4 +73,10 @@ __all__ = [
     "JsonlSink",
     "Sink",
     "read_jsonl",
+    "read_jsonl_tolerant",
+    "TraceContext",
+    "TraceTree",
+    "merge_trace",
+    "new_trace_id",
+    "start_trace",
 ]

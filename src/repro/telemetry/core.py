@@ -17,9 +17,17 @@ Design points:
   histogram keyed by span name, so a sink is optional for profiling;
 * all registry mutation happens under one lock — the experiment
   harness's parallel cache warmers run in separate *processes*, but the
-  API stays safe for in-process threads too.
+  API stays safe for in-process threads too;
+* tracing is opt-in on top of telemetry: installing a
+  :class:`~repro.telemetry.tracing.TraceContext` (via
+  :meth:`Telemetry.set_trace_context`) makes every span carry a
+  ``trace_id``/``span_id``/``parent_span_id`` triple in its sink
+  event, which is what lets the shard merger stitch events from many
+  worker processes into one tree.  Without a context, span events look
+  exactly as they always did.
 """
 
+import random
 import threading
 import time
 
@@ -38,9 +46,19 @@ class Counter:
 
 
 class Histogram:
-    """Streaming summary of observed values (count/total/min/max)."""
+    """Streaming summary of observed values.
 
-    __slots__ = ("name", "count", "total", "minimum", "maximum")
+    Alongside count/total/min/max it keeps a bounded reservoir sample
+    (Vitter's algorithm R with a fixed-seed generator, so the same
+    observation sequence always yields the same sample), from which
+    :meth:`percentile` answers p50/p95/p99 by nearest rank.  Up to
+    ``RESERVOIR_SIZE`` observations the percentiles are exact.
+    """
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum",
+                 "_samples", "_rng")
+
+    RESERVOIR_SIZE = 1024
 
     def __init__(self, name):
         self.name = name
@@ -48,6 +66,8 @@ class Histogram:
         self.total = 0.0
         self.minimum = None
         self.maximum = None
+        self._samples = []
+        self._rng = random.Random(0)
 
     def record(self, value):
         self.count += 1
@@ -56,6 +76,12 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if len(self._samples) < self.RESERVOIR_SIZE:
+            self._samples.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self.RESERVOIR_SIZE:
+                self._samples[slot] = value
 
     @property
     def mean(self):
@@ -63,10 +89,21 @@ class Histogram:
             return 0.0
         return self.total / self.count
 
+    def percentile(self, q):
+        """The q-th percentile (0-100) by nearest rank, or None."""
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = int((q / 100.0) * len(ordered) + 0.5)
+        return ordered[max(0, min(rank, len(ordered)) - 1)]
+
     def to_dict(self):
         return {"count": self.count, "total": self.total,
                 "min": self.minimum, "max": self.maximum,
-                "mean": self.mean}
+                "mean": self.mean,
+                "p50": self.percentile(50),
+                "p95": self.percentile(95),
+                "p99": self.percentile(99)}
 
     def __repr__(self):
         return "Histogram(%r, n=%d, total=%.6f)" % (
@@ -80,9 +117,15 @@ class Span:
     the span name and a ``span`` event is emitted to the sink (if any).
     Extra keyword attributes given at creation ride along on the event;
     :meth:`annotate` adds more mid-flight.
+
+    When the registry carries a trace context, the span is assigned a
+    process-unique ``span_id`` on entry and remembers its parent (the
+    enclosing span on this thread, or the context's cross-process
+    parent at the top level); both ride on the completion event.
     """
 
-    __slots__ = ("registry", "name", "attrs", "start", "duration")
+    __slots__ = ("registry", "name", "attrs", "start", "duration",
+                 "span_id", "parent_span_id")
 
     def __init__(self, registry, name, attrs):
         self.registry = registry
@@ -90,6 +133,8 @@ class Span:
         self.attrs = attrs
         self.start = None
         self.duration = None
+        self.span_id = None
+        self.parent_span_id = None
 
     def annotate(self, **attrs):
         """Attach attributes to the span's completion event."""
@@ -97,7 +142,10 @@ class Span:
         return self
 
     def __enter__(self):
-        self.registry._push(self.name)
+        if self.registry._trace is not None:
+            self.parent_span_id = self.registry.current_span_id()
+            self.span_id = self.registry.allocate_span_id()
+        self.registry._push(self.name, self.span_id)
         self.start = time.perf_counter()
         return self
 
@@ -144,6 +192,8 @@ class Telemetry:
         self.enabled = enabled
         self._counters = {}
         self._histograms = {}
+        self._trace = None
+        self._span_seq = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -160,12 +210,60 @@ class Telemetry:
         return self
 
     def reset(self):
-        """Clear all aggregates; detach the sink."""
+        """Clear all aggregates; detach the sink and trace context.
+
+        The span stack is dropped too: a forked worker inherits its
+        parent's open spans on the main thread, and without clearing
+        them the child's top-level spans would parent under the
+        supervisor's spans instead of its own shard span.
+        """
         with self._lock:
             self._counters.clear()
             self._histograms.clear()
+            self._span_seq = 0
+        self._local = threading.local()
         self.sink = None
+        self._trace = None
         return self
+
+    # -- trace context -----------------------------------------------------
+
+    def set_trace_context(self, context):
+        """Install (or with None, clear) the cross-process trace context.
+
+        While a context is installed, spans carry
+        ``trace_id``/``span_id``/``parent_span_id`` on their sink
+        events and structured events are stamped with the trace id and
+        the enclosing span — see :mod:`repro.telemetry.tracing`.
+        """
+        self._trace = context
+        return self
+
+    @property
+    def trace(self):
+        """The installed trace context, or None."""
+        return self._trace
+
+    def allocate_span_id(self):
+        """A new process-unique span id under the trace context."""
+        with self._lock:
+            self._span_seq += 1
+            sequence = self._span_seq
+        node = self._trace.node if self._trace is not None else "s"
+        return "%s-%d" % (node, sequence)
+
+    def current_span_id(self):
+        """Id of the innermost open span on this thread.
+
+        Falls back to the trace context's cross-process parent span
+        when no span is open (so top-level events in a worker process
+        attach under the shard span its supervisor allocated); None
+        without a context.
+        """
+        stack = self._stack()
+        if stack:
+            return stack[-1][1]
+        return self._trace.span_id if self._trace is not None else None
 
     # -- span stack (per thread) -------------------------------------------
 
@@ -175,8 +273,8 @@ class Telemetry:
             stack = self._local.stack = []
         return stack
 
-    def _push(self, name):
-        self._stack().append(name)
+    def _push(self, name, span_id=None):
+        self._stack().append((name, span_id))
 
     def _pop(self):
         stack = self._stack()
@@ -186,7 +284,7 @@ class Telemetry:
     def current_span_name(self):
         """Name of the innermost open span on this thread, or None."""
         stack = self._stack()
-        return stack[-1] if stack else None
+        return stack[-1][0] if stack else None
 
     # -- recording ---------------------------------------------------------
 
@@ -203,6 +301,10 @@ class Telemetry:
                      "duration_s": span.duration, "depth": depth}
             if failed:
                 event["failed"] = True
+            if span.span_id is not None and self._trace is not None:
+                event["trace_id"] = self._trace.trace_id
+                event["span_id"] = span.span_id
+                event["parent_span_id"] = span.parent_span_id
             if span.attrs:
                 event.update(span.attrs)
             self.sink.emit(event)
@@ -232,6 +334,9 @@ class Telemetry:
         if not self.enabled or self.sink is None:
             return
         event = {"type": "event", "name": name}
+        if self._trace is not None:
+            event["trace_id"] = self._trace.trace_id
+            event["parent_span_id"] = self.current_span_id()
         event.update(fields)
         self.sink.emit(event)
 

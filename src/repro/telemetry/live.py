@@ -1,0 +1,255 @@
+"""The live event bus: tail sharded JSONL streams, monitor a sweep.
+
+Two pieces power ``repro-branches top``:
+
+* :class:`EventTail` — an incremental reader over a growing set of
+  JSONL files (the supervisor's event log plus the per-attempt shards
+  appearing under the trace directory).  It remembers a byte offset
+  per file, consumes only complete lines (a half-written trailing
+  line stays unread until its newline lands), and never raises on a
+  vanished or torn file — the writers are being SIGKILLed on purpose
+  in the fault matrix.
+* :class:`SweepMonitor` — folds the event stream into the state a
+  human watching a sweep wants: shards in flight / done / retried /
+  failed, per-stage wall clock, cross-process cache hit rate (from
+  the ``telemetry.snapshot`` counters each worker emits on exit), and
+  an ETA extrapolated from completed tasks.
+
+Both are timestamp-driven (the ``ts`` every sink stamps), so
+``repro-branches top --replay <log-or-dir>`` renders a recorded sweep
+byte-for-byte deterministically — which is how the tests pin the
+renderer down.
+"""
+
+import json
+from pathlib import Path
+
+
+class EventTail:
+    """Incremental JSONL reader over a growing set of files.
+
+    Args:
+        paths: seed files to follow (may not exist yet).
+        directory: optional directory whose ``*.jsonl`` members are
+            (re)discovered on every poll — how shards of newly spawned
+            attempts join the stream mid-flight.
+    """
+
+    def __init__(self, paths=(), directory=None):
+        self._offsets = {}
+        self._paths = [Path(path) for path in paths]
+        self._directory = Path(directory) if directory else None
+
+    def _files(self):
+        files = list(self._paths)
+        if self._directory is not None and self._directory.is_dir():
+            files.extend(sorted(self._directory.glob("*.jsonl")))
+        seen = set()
+        unique = []
+        for path in files:
+            if path not in seen:
+                seen.add(path)
+                unique.append(path)
+        return unique
+
+    def poll(self):
+        """All complete, parseable events appended since the last poll."""
+        events = []
+        for path in self._files():
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    chunk = handle.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            complete, _, partial = chunk.rpartition(b"\n")
+            if not complete and partial:
+                continue            # only a torn fragment so far
+            self._offsets[path] = offset + len(complete) + 1
+            for line in complete.split(b"\n"):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue
+                if isinstance(event, dict):
+                    events.append(event)
+        events.sort(key=lambda event: event.get("ts", 0.0))
+        return events
+
+
+class SweepMonitor:
+    """Folds a sweep's event stream into a renderable snapshot."""
+
+    def __init__(self):
+        self.first_ts = None
+        self.last_ts = None
+        self.total_tasks = None
+        self.workers = None
+        self.done = False
+        self.degraded = False
+        self._spawned = {}          # (task, attempt) -> spawn ts
+        self._attempts = []         # finished shard spans, in order
+        self._tasks_ok = set()
+        self._tasks_failed = set()
+        self._retried = set()
+        self._stages = {}           # runner stage -> [count, total_s]
+        self._counters = {}         # summed cross-process counters
+
+    # -- folding -----------------------------------------------------------
+
+    def observe_all(self, events):
+        for event in events:
+            self.observe(event)
+        return self
+
+    def observe(self, event):
+        ts = event.get("ts")
+        if ts is not None:
+            if self.first_ts is None:
+                self.first_ts = ts
+            self.last_ts = max(self.last_ts or ts, ts)
+        name = event.get("name")
+        kind = event.get("type")
+        if kind == "span":
+            if name == "supervisor.shard":
+                self._observe_shard(event)
+            elif name and name.startswith("runner."):
+                stage = name[len("runner."):]
+                bucket = self._stages.setdefault(stage, [0, 0.0])
+                bucket[0] += 1
+                bucket[1] += event.get("duration_s", 0.0)
+            return
+        if name == "supervisor.start":
+            self.total_tasks = event.get("tasks")
+            self.workers = event.get("workers")
+        elif name == "supervisor.done":
+            self.done = True
+            self.degraded = bool(event.get("degraded"))
+        elif name == "worker.spawn":
+            key = (event.get("task"), event.get("attempt"))
+            self._spawned[key] = event.get("ts", 0.0)
+        elif name == "worker.retry":
+            self._retried.add(event.get("task"))
+        elif name == "telemetry.snapshot":
+            for counter, value in (event.get("counters") or {}).items():
+                self._counters[counter] = \
+                    self._counters.get(counter, 0) + value
+
+    def _observe_shard(self, event):
+        task = event.get("task")
+        attempt = event.get("attempt")
+        status = event.get("status")
+        self._spawned.pop((task, attempt), None)
+        self._attempts.append({
+            "task": task, "attempt": attempt, "status": status,
+            "seconds": event.get("duration_s", 0.0)})
+        if status == "ok":
+            self._tasks_ok.add(task)
+            self._tasks_failed.discard(task)
+        else:
+            if task not in self._tasks_ok:
+                self._tasks_failed.add(task)
+
+    # -- derived state -----------------------------------------------------
+
+    @property
+    def in_flight(self):
+        """(task, attempt, spawn ts) of attempts not yet resolved."""
+        return sorted((task, attempt, ts) for (task, attempt), ts
+                      in self._spawned.items())
+
+    @property
+    def attempts(self):
+        return list(self._attempts)
+
+    @property
+    def elapsed(self):
+        if self.first_ts is None or self.last_ts is None:
+            return 0.0
+        return self.last_ts - self.first_ts
+
+    def counter(self, name):
+        return self._counters.get(name, 0)
+
+    @property
+    def cache_hit_rate(self):
+        hits = self.counter("runner.cache.hit")
+        misses = self.counter("runner.cache.miss")
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    @property
+    def eta_seconds(self):
+        """Remaining-work estimate from completed tasks; None if unknown."""
+        if not self.total_tasks or self.done:
+            return None
+        finished = len(self._tasks_ok) + len(self._tasks_failed)
+        if finished == 0 or finished >= self.total_tasks:
+            return None
+        return (self.elapsed / finished
+                * (self.total_tasks - finished))
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self):
+        """Deterministic text snapshot of the sweep."""
+        finished = len(self._tasks_ok) + len(self._tasks_failed)
+        total = self.total_tasks if self.total_tasks is not None else "?"
+        header = "sweep: %d/%s tasks finished" % (finished, total)
+        if self.workers:
+            header += ", %d workers" % self.workers
+        if self.done:
+            header += ", DONE (degraded)" if self.degraded else ", DONE"
+        lines = [header]
+
+        for task, attempt, ts in self.in_flight:
+            age = ((self.last_ts - ts)
+                   if self.last_ts is not None and ts else 0.0)
+            lines.append("  in flight: %s (attempt %d, %.1fs)"
+                         % (task, attempt, age))
+        for item in self._attempts:
+            marker = {"ok": "done"}.get(item["status"],
+                                        item["status"].upper())
+            lines.append("  %-8s %s (attempt %d, %.2fs)"
+                         % (marker, item["task"], item["attempt"],
+                            item["seconds"]))
+        if self._retried:
+            lines.append("  retried: %s"
+                         % ", ".join(sorted(self._retried)))
+        if self._tasks_failed:
+            lines.append("  failed: %s"
+                         % ", ".join(sorted(self._tasks_failed)))
+
+        if self._stages:
+            total_s = sum(bucket[1]
+                          for bucket in self._stages.values())
+            lines.append("  stages:")
+            for stage, (count, seconds) in sorted(
+                    self._stages.items(), key=lambda kv: -kv[1][1]):
+                share = 100.0 * seconds / total_s if total_s else 0.0
+                lines.append("    %-12s %9.4fs  %5.1f%%  (n=%d)"
+                             % (stage, seconds, share, count))
+
+        rate = self.cache_hit_rate
+        if rate is not None:
+            lines.append("  cache: %d hits / %d misses (%.1f%% hit "
+                         "rate)" % (self.counter("runner.cache.hit"),
+                                    self.counter("runner.cache.miss"),
+                                    100.0 * rate))
+        records = self.counter("predictor.records")
+        if records:
+            lines.append("  predictor records: %d" % records)
+
+        footer = "  elapsed %.1fs" % self.elapsed
+        eta = self.eta_seconds
+        if eta is not None:
+            footer += ", ETA %.1fs" % eta
+        lines.append(footer)
+        return "\n".join(lines) + "\n"

@@ -18,13 +18,28 @@ import time
 
 
 class Sink:
-    """Event consumer protocol."""
+    """Event consumer protocol.
+
+    Sinks are context managers: ``with JsonlSink(path) as sink: ...``
+    guarantees :meth:`close` runs however the block exits, which is
+    how the CLI and worker children register cleanup.
+    """
 
     def emit(self, event):
         raise NotImplementedError
 
+    def flush(self):
+        """Push buffered events to durable storage (no-op by default)."""
+
     def close(self):
         """Flush and release resources (no-op by default)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+        return False
 
 
 class InMemoryAggregator(Sink):
@@ -67,6 +82,14 @@ class JsonlSink(Sink):
     The file is opened lazily on the first event (so enabling telemetry
     without emitting anything leaves no empty file) and parent
     directories are created as needed.
+
+    The sink is crash-safe: the file is opened **line-buffered**, so
+    every complete event reaches the OS as soon as its line is
+    written, and span events additionally :meth:`flush` explicitly on
+    emission.  A worker SIGKILLed mid-write therefore loses at most
+    the one partial trailing line, which
+    :func:`read_jsonl_tolerant` (and the shard merger built on it)
+    skips instead of crashing on.
     """
 
     def __init__(self, path):
@@ -81,8 +104,15 @@ class JsonlSink(Sink):
         with self._lock:
             if self._handle is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = open(self.path, "a")
+                self._handle = open(self.path, "a", buffering=1)
             self._handle.write(line + "\n")
+            if event.get("type") == "span":
+                self._handle.flush()
+
+    def flush(self):
+        with self._lock:
+            if self._handle is not None:
+                self._handle.flush()
 
     def close(self):
         with self._lock:
@@ -103,3 +133,36 @@ def read_jsonl(path):
             if line:
                 events.append(json.loads(line))
     return events
+
+
+def read_jsonl_tolerant(path):
+    """Parse an event log, skipping torn lines.
+
+    Returns ``(events, torn)``: the events that parsed, and the number
+    of lines that did not — a killed writer leaves at most one partial
+    trailing line, but the reader tolerates damage anywhere so a
+    merged view over many shards never dies on one bad shard.
+    A missing file reads as empty (a worker may have been killed
+    before its lazily-opened shard ever existed).
+    """
+    events = []
+    torn = 0
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError:
+        return events, torn
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            torn += 1
+            continue
+        if isinstance(event, dict):
+            events.append(event)
+        else:
+            torn += 1
+    return events, torn

@@ -86,6 +86,27 @@ def test_main_stats_json(capsys, tmp_path, monkeypatch):
     assert set(data["sites"][0]["accuracy"]) == {"SBTB", "CBTB", "FS"}
 
 
+def test_main_stats_json_with_telemetry(capsys, tmp_path, monkeypatch):
+    import json
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    log = tmp_path / "events.jsonl"
+    exit_code = main(["stats", "wc", "--scale", "0.05", "--runs", "1",
+                      "--json", "--telemetry",
+                      "--telemetry-log", str(log)])
+    assert exit_code == 0
+    captured = capsys.readouterr()
+    data = json.loads(captured.out)
+    # With telemetry on the payload is wrapped: the report plus the
+    # registry snapshot, whose histograms carry reservoir percentiles.
+    assert data["report"]["benchmark"] == "wc"
+    snapshot = data["telemetry"]
+    assert snapshot["counters"]
+    assert snapshot["histograms"]
+    for histogram in snapshot["histograms"].values():
+        assert {"p50", "p95", "p99"} <= set(histogram)
+
+
 def test_main_profile_with_telemetry(capsys, tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     log = tmp_path / "events.jsonl"

@@ -113,6 +113,41 @@ def test_event_goes_to_sink(telemetry):
     assert event["benchmark"] == "wc"
 
 
+def test_histogram_percentiles(telemetry):
+    for value in range(1, 101):        # 1..100, exact reservoir
+        telemetry.record("latency", float(value))
+    histogram = telemetry.histogram("latency")
+    assert histogram.percentile(50) == 50.0
+    assert histogram.percentile(95) == 95.0
+    assert histogram.percentile(99) == 99.0
+    data = histogram.to_dict()
+    assert (data["p50"], data["p95"], data["p99"]) == (50.0, 95.0, 99.0)
+
+
+def test_histogram_percentiles_empty_and_single():
+    from repro.telemetry.core import Histogram
+
+    histogram = Histogram("x")
+    assert histogram.percentile(50) is None
+    assert histogram.to_dict()["p99"] is None
+    histogram.record(7.0)
+    assert histogram.percentile(50) == 7.0
+    assert histogram.percentile(99) == 7.0
+
+
+def test_histogram_reservoir_bounded_and_deterministic():
+    from repro.telemetry.core import Histogram
+
+    first, second = Histogram("a"), Histogram("b")
+    for value in range(10_000):
+        first.record(float(value))
+        second.record(float(value))
+    assert len(first._samples) == Histogram.RESERVOIR_SIZE
+    # Same observation sequence, same seeded reservoir, same answers.
+    assert first.percentile(95) == second.percentile(95)
+    assert 8_000 <= first.percentile(95) <= 10_000
+
+
 # --- the disabled path -----------------------------------------------------
 
 
@@ -186,6 +221,38 @@ def test_jsonl_sink_append_after_close(tmp_path):
     sink.close()
     assert [event["name"] for event in read_jsonl(path)] == [
         "first", "second"]
+
+
+def test_jsonl_sink_context_manager_closes(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with JsonlSink(path) as sink:
+        sink.emit({"name": "inside"})
+        assert sink._handle is not None
+    assert sink._handle is None
+    assert [event["name"] for event in read_jsonl(path)] == ["inside"]
+
+
+def test_jsonl_sink_span_events_flushed_immediately(tmp_path):
+    path = tmp_path / "events.jsonl"
+    sink = JsonlSink(path)
+    sink.emit({"type": "span", "name": "work", "duration_s": 0.1})
+    # Readable before close: the span line was flushed on emission.
+    assert read_jsonl(path)[0]["name"] == "work"
+    sink.close()
+
+
+def test_read_jsonl_tolerant_skips_torn_lines(tmp_path):
+    from repro.telemetry import read_jsonl_tolerant
+
+    path = tmp_path / "events.jsonl"
+    path.write_text('{"name": "ok", "type": "event"}\n'
+                    '[1, 2, 3]\n'
+                    '{"name": "also-ok", "type": "event"}\n'
+                    '{"name": "torn", "ty')   # killed mid-write
+    events, torn = read_jsonl_tolerant(path)
+    assert [event["name"] for event in events] == ["ok", "also-ok"]
+    assert torn == 2
+    assert read_jsonl_tolerant(tmp_path / "missing.jsonl") == ([], 0)
 
 
 # --- run manifests ----------------------------------------------------------
@@ -351,6 +418,56 @@ def test_assoc_cache_eviction_counters():
     assert stats["evictions"] > 0
     assert stats["occupancy"] <= 4
     assert 0 <= stats["conflict_evictions"] <= stats["evictions"]
+
+
+def test_vector_engine_emits_same_telemetry_shape(global_telemetry):
+    """Scalar and vector simulate() paths report identically-shaped
+    telemetry: the same counters (modulo the per-engine name) and the
+    same ``predictor.simulate`` event fields."""
+    from repro.predictors import CounterBTB, simulate
+
+    program = compile_source("""
+        int main() {
+            int i;
+            for (i = 0; i < 200; i = i + 1)
+                if (i % 7 < 3) puti(i);
+            return 0;
+        }
+    """, "t")
+    trace = run_program(program, trace=True).trace
+
+    per_engine = {}
+    for engine in ("scalar", "vector"):
+        TELEMETRY.reset()
+        sink = InMemoryAggregator()
+        TELEMETRY.enable(sink)
+        simulate(CounterBTB(), trace, engine=engine)
+        per_engine[engine] = (TELEMETRY.snapshot()["counters"],
+                              sink.named("predictor.simulate"))
+
+    scalar_counters, scalar_events = per_engine["scalar"]
+    vector_counters, vector_events = per_engine["vector"]
+    assert scalar_counters["predictor.records"] == len(trace)
+    assert vector_counters["predictor.records"] == len(trace)
+    assert scalar_counters["predictor.records.scalar"] == len(trace)
+    assert vector_counters["predictor.records.vector"] == len(trace)
+    # Counter names match once the engine suffix is normalised.
+    normalise = {name.replace(".scalar", ".<engine>")
+                 .replace(".vector", ".<engine>")
+                 for name in scalar_counters}
+    assert normalise == {name.replace(".scalar", ".<engine>")
+                         .replace(".vector", ".<engine>")
+                         for name in vector_counters}
+    assert len(scalar_events) == len(vector_events) == 1
+    assert scalar_events[0]["engine"] == "scalar"
+    assert vector_events[0]["engine"] == "vector"
+    assert set(scalar_events[0]) == set(vector_events[0])
+    # The engines are bit-identical on the simulation outcome (the
+    # per-predictor occupancy fields may differ: the vector engine
+    # does not mutate the predictor object).
+    for key in ("records", "correct", "accuracy", "buffer_misses",
+                "miss_ratio"):
+        assert scalar_events[0][key] == vector_events[0][key]
 
 
 # --- mispredict attribution -------------------------------------------------
