@@ -61,6 +61,19 @@ else
     PYTHONPATH=src python -m pytest -x -q -m "$marker"
 fi
 
+echo "== marker audit =="
+# The fast path above deselected -m 'not slow'; verify the convention
+# held: every *_battery test is slow-marked and the marker actually
+# deselects something (an unregistered marker deselects nothing).
+PYTHONPATH=src python scripts/marker_audit.py
+
+echo "== characterize self-test =="
+# Black-box parameter recovery: every known configuration (including
+# the paper's 256-entry SBTB/CBTB) must be recovered exactly from
+# PredictionStats alone, and a deliberately mis-declared predictor
+# must be flagged — exits non-zero on either failure mode.
+PYTHONPATH=src python -m repro characterize --self-test
+
 echo "== conformance smoke =="
 # Small seed budget: differential replay of every predictor against
 # its reference oracle plus the golden-table regression.  The full

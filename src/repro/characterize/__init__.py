@@ -1,0 +1,61 @@
+"""Black-box predictor characterization.
+
+Recover a predictor's microarchitectural parameters — buffer capacity,
+associativity, saturating-counter width and threshold, global-history
+depth, replacement policy, flush sensitivity — purely from the
+:class:`~repro.predictors.base.PredictionStats` that ``simulate()``
+returns for crafted probe traces, the way the BTB reverse-engineering
+literature recovers them from silicon.  The recovered configuration is
+diffed against what the predictor declares; any disagreement is either
+an inference bug or a simulator bug, which makes the harness a test
+oracle that grows with every new predictor (see docs/CHARACTERIZE.md).
+
+    from repro.characterize import characterize
+    from repro.predictors import SimpleBTB
+
+    report = characterize(lambda: SimpleBTB(entries=256))
+    assert report.recovered["entries"] == 256
+    assert report.ok  # recovered == declared
+
+The probe traces themselves (:func:`probe_battery`) double as an
+adversarial corpus for the conformance engine: overflowing sets,
+maximal aliasing, and pathological periodic patterns the program
+fuzzer essentially never produces.
+"""
+
+from repro.characterize.infer import (
+    MAX_COUNTER_BITS,
+    MAX_ENTRIES,
+    MAX_HISTORY,
+    characterize,
+)
+from repro.characterize.probes import (
+    PROBE_FAMILIES,
+    chain_trace,
+    disagree_trace,
+    ladder_trace,
+    probe_battery,
+    step_trace,
+    victim_trace,
+)
+from repro.characterize.report import CharacterizationReport, ProbeEvidence
+from repro.characterize.roster import roster_names, run_roster, run_self_test
+
+__all__ = [
+    "MAX_COUNTER_BITS",
+    "MAX_ENTRIES",
+    "MAX_HISTORY",
+    "PROBE_FAMILIES",
+    "CharacterizationReport",
+    "ProbeEvidence",
+    "chain_trace",
+    "characterize",
+    "disagree_trace",
+    "ladder_trace",
+    "probe_battery",
+    "roster_names",
+    "run_roster",
+    "run_self_test",
+    "step_trace",
+    "victim_trace",
+]

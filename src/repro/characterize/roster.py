@@ -1,0 +1,171 @@
+"""Characterization rosters: the paper's configurations and the gate.
+
+Two entry points back the CLI:
+
+* :func:`run_roster` — characterize a named set of predictors (by
+  default the paper's SBTB/CBTB plus the modern zoo) and render the
+  recovered-vs-declared diff; exit non-zero on any mismatch.
+* :func:`run_self_test` — the ``scripts/check.sh`` gate: a grid of
+  small known configurations plus the paper's 256-entry SBTB/CBTB must
+  all be recovered *exactly*, and one deliberately mis-declared
+  predictor must be flagged.  A clean pass therefore certifies both
+  directions: the inference finds real parameters, and it is sharp
+  enough to catch a lie.  Exit non-zero on either failure mode.
+"""
+
+import json
+
+from repro.predictors import (
+    AlwaysTaken,
+    Bimodal,
+    CounterBTB,
+    ForwardSemanticPredictor,
+    GShare,
+    SimpleBTB,
+    Tournament,
+)
+
+from repro.characterize.infer import characterize
+
+
+def _roster():
+    """name -> factory, in report order."""
+    return (
+        # The paper's hardware configurations (Section 2.2).
+        ("SBTB-paper", lambda: SimpleBTB(entries=256)),
+        ("CBTB-paper", lambda: CounterBTB(entries=256)),
+        # The feasibility ablation the paper alludes to ("it may not
+        # be feasible to implement full associativity").
+        ("SBTB-256x4", lambda: SimpleBTB(entries=256, associativity=4)),
+        # Smaller/later-lineage schemes.
+        ("SBTB-small", lambda: SimpleBTB(entries=16, associativity=4)),
+        ("CBTB-small", lambda: CounterBTB(entries=16, associativity=4,
+                                          counter_bits=3, threshold=4)),
+        ("gshare", lambda: GShare(history_bits=4, table_bits=10,
+                                  entries=32, associativity=4)),
+        ("bimodal", lambda: Bimodal(table_bits=10, entries=32,
+                                    associativity=4)),
+        ("tournament", lambda: Tournament(
+            first=Bimodal(table_bits=10, entries=32),
+            second=GShare(history_bits=4, table_bits=10, entries=32))),
+        ("FS", lambda: ForwardSemanticPredictor(likely_sites={})),
+        ("always-taken", AlwaysTaken),
+    )
+
+
+def roster_names():
+    return [name for name, _ in _roster()]
+
+
+def _render_reports(reports, as_json, heading):
+    if as_json:
+        payload = {
+            "reports": [report.to_dict() for report in reports],
+            "ok": all(report.ok for report in reports),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    lines = [heading]
+    for report in reports:
+        lines.append(report.render())
+    failures = [report.label for report in reports if not report.ok]
+    lines.append("RESULT: %s"
+                 % ("PASS — every recovered parameter matches its "
+                    "declaration" if not failures
+                    else "FAIL — mismatches in %s" % ", ".join(failures)))
+    return "\n".join(lines) + "\n"
+
+
+def run_roster(names=None, as_json=False):
+    """Characterize roster entries; returns (text, exit_code)."""
+    roster = dict(_roster())
+    if names:
+        unknown = [name for name in names if name not in roster]
+        if unknown:
+            return ("characterize: unknown predictor %s (choose from "
+                    "%s)\n" % (", ".join(unknown),
+                               ", ".join(roster)), 2)
+        selected = [(name, roster[name]) for name in names]
+    else:
+        selected = list(_roster())
+    reports = [characterize(factory, label=name)
+               for name, factory in selected]
+    text = _render_reports(
+        reports, as_json,
+        "Black-box characterization (probes see PredictionStats only)")
+    return text, 0 if all(report.ok for report in reports) else 1
+
+
+#: The self-test grid: every geometry/counter/history axis at small
+#: sizes, plus the paper's configurations (the acceptance bar).
+def _self_test_grid():
+    return (
+        ("SBTB-16", lambda: SimpleBTB(entries=16)),
+        ("SBTB-16x4", lambda: SimpleBTB(entries=16, associativity=4)),
+        ("SBTB-64x4", lambda: SimpleBTB(entries=64, associativity=4)),
+        ("CBTB-16-2bitT2", lambda: CounterBTB(entries=16)),
+        ("CBTB-16x4-3bitT4", lambda: CounterBTB(
+            entries=16, associativity=4, counter_bits=3, threshold=4)),
+        ("CBTB-32x4-1bitT1", lambda: CounterBTB(
+            entries=32, associativity=4, counter_bits=1, threshold=1)),
+        ("gshare-h4", lambda: GShare(history_bits=4, table_bits=10,
+                                     entries=32, associativity=4)),
+        ("bimodal-32x4", lambda: Bimodal(table_bits=10, entries=32,
+                                         associativity=4)),
+        ("FS", lambda: ForwardSemanticPredictor(likely_sites={})),
+        ("SBTB-paper", lambda: SimpleBTB(entries=256)),
+        ("CBTB-paper", lambda: CounterBTB(entries=256)),
+    )
+
+
+def run_self_test(as_json=False):
+    """The check.sh gate; returns (text, exit_code).
+
+    Every grid entry must characterize with zero mismatches, and an
+    injected lie (an SBTB built with 64 entries but declaring 128)
+    must be flagged on the ``entries`` axis — proving the gate would
+    actually fire on a mis-recovery.
+    """
+    reports = [characterize(factory, label=name)
+               for name, factory in _self_test_grid()]
+    honest_ok = all(report.ok for report in reports)
+
+    liar = SimpleBTB(entries=64)
+    lied = dict(liar.declared_parameters())
+    lied["entries"] = 128
+    lied["n_sets"] = 128
+    lied["associativity"] = 128
+    injected = characterize(lambda: SimpleBTB(entries=64),
+                            declared=lied, label="SBTB-64-declaring-128")
+    flagged = {key for key, _, _ in injected.mismatches}
+    injected_caught = "entries" in flagged
+    ok = honest_ok and injected_caught
+
+    if as_json:
+        payload = {
+            "reports": [report.to_dict() for report in reports],
+            "injected": injected.to_dict(),
+            "injected_caught": injected_caught,
+            "ok": ok,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n", (
+            0 if ok else 1)
+
+    lines = ["Characterization self-test: %d known configurations + 1 "
+             "injected lie" % len(reports)]
+    for report in reports:
+        status = "ok" if report.ok else "MISMATCH"
+        lines.append("  %-18s %-8s %s" % (report.label, status,
+                                          report.summary()))
+    lines.append("  %-18s %-8s flagged %s"
+                 % (injected.label,
+                    "ok" if injected_caught else "MISSED",
+                    sorted(flagged) if flagged else "nothing"))
+    if not honest_ok:
+        for report in reports:
+            if not report.ok:
+                lines.append(report.render())
+    if not injected_caught:
+        lines.append("  the deliberately mis-declared predictor was "
+                     "not flagged — the gate is blind")
+    lines.append("RESULT: %s" % ("PASS" if ok else "FAIL"))
+    return "\n".join(lines) + "\n", 0 if ok else 1

@@ -16,6 +16,8 @@ Examples::
     repro-branches top --replay .repro-cache/telemetry.jsonl
     repro-branches metrics --replay .repro-cache/traces
     repro-branches bench-history --window 8 --threshold 0.2
+    repro-branches characterize SBTB-paper
+    repro-branches characterize --self-test
     python -m repro table5 --no-cache
 """
 
@@ -55,12 +57,13 @@ _EXPERIMENTS = {
 _ORDER = ("table1", "table2", "table3", "table4", "table5", "figures",
           "headline", "storage")
 
-#: Subcommands that accept an optional benchmark name positionally.
-_TARGETED = ("stats", "profile", "trace")
+#: Subcommands that accept an optional target name positionally (a
+#: benchmark, or for 'characterize' a roster predictor).
+_TARGETED = ("stats", "profile", "trace", "characterize")
 
 #: Subcommands that never touch the trace cache directory.
 _CACHELESS = ("lint", "cache", "faults", "top", "metrics",
-              "bench-history")
+              "bench-history", "characterize")
 
 #: Distinct exit codes (0 = success, 1 = the experiment itself
 #: reported failures, e.g. lint errors or conformance divergence).
@@ -80,7 +83,8 @@ def build_parser():
                                                         "conformance",
                                                         "faults", "top",
                                                         "metrics",
-                                                        "bench-history"],
+                                                        "bench-history",
+                                                        "characterize"],
                         help="which table/figure to regenerate; 'report' "
                              "renders everything as markdown; 'trace' "
                              "dumps a benchmark's branch trace; 'stats' "
@@ -111,10 +115,20 @@ def build_parser():
                              "'bench-history' reports the benchmark "
                              "gates' longitudinal BENCH_history.jsonl "
                              "against a rolling-median baseline and "
-                             "exits non-zero on flagged regressions")
+                             "exits non-zero on flagged regressions; "
+                             "'characterize' recovers each predictor's "
+                             "parameters (capacity, associativity, "
+                             "counter width, history depth, "
+                             "replacement) purely from black-box probe "
+                             "traces and exits non-zero if any "
+                             "recovered parameter contradicts the "
+                             "declared configuration (--self-test runs "
+                             "the known-configuration gate)")
     parser.add_argument("target", nargs="?", default=None,
                         help="benchmark name for 'stats', 'profile' and "
-                             "'trace' (default wc)")
+                             "'trace' (default wc); roster predictor "
+                             "name for 'characterize' (default: whole "
+                             "roster)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="input size multiplier (default 1.0)")
     parser.add_argument("--runs", type=int, default=None,
@@ -176,6 +190,13 @@ def build_parser():
                         help="for 'all' and 'report': ignore (and "
                              "overwrite) the sweep checkpoint instead "
                              "of resuming completed tables from it")
+    parser.add_argument("--self-test", action="store_true",
+                        help="for 'characterize': recover a grid of "
+                             "known small configurations plus the "
+                             "paper's SBTB/CBTB exactly, and verify "
+                             "that a deliberately mis-declared "
+                             "predictor is flagged; exits non-zero on "
+                             "any mis-recovery")
     parser.add_argument("--update-golden", action="store_true",
                         help="for 'conformance': re-measure the pinned "
                              "configuration and rewrite the committed "
@@ -662,6 +683,17 @@ def main(argv=None):
                 cache=not args.no_cache)
             text = report.render()
             exit_code = 0 if report.ok else 1
+            _write_output(text, args.output)
+            return exit_code
+        if args.experiment == "characterize":
+            from repro.characterize import run_roster, run_self_test
+
+            if args.self_test:
+                text, exit_code = run_self_test(as_json=args.json)
+            else:
+                text, exit_code = run_roster(
+                    names=[args.target] if args.target else None,
+                    as_json=args.json)
             _write_output(text, args.output)
             return exit_code
         if args.experiment == "faults":

@@ -29,7 +29,13 @@ from repro.conformance.fuzz import TraceFuzzer
 from repro.conformance.golden import check_golden, check_paper_bands
 from repro.conformance.oracles import oracle_for
 from repro.pipeline.config import PipelineConfig
-from repro.predictors import CounterBTB, ForwardSemanticPredictor, SimpleBTB
+from repro.predictors import (
+    Bimodal,
+    CounterBTB,
+    ForwardSemanticPredictor,
+    GShare,
+    SimpleBTB,
+)
 from repro.telemetry.core import TELEMETRY
 
 #: Small buffers so fuzzed traces create real capacity/eviction
@@ -90,6 +96,7 @@ class ConformanceReport:
         self.replays = 0
         self.cycle_checks = 0
         self.engine_checks = 0
+        self.probe_checks = 0
         self.findings = []
         self.band_violations = []
         self.golden_violations = []
@@ -112,6 +119,9 @@ class ConformanceReport:
             lines.append("differential replay: zero divergences")
         lines.append("engine cross-check (scalar vs vector): "
                      "%d comparisons" % self.engine_checks)
+        if self.probe_checks:
+            lines.append("characterization probe battery: "
+                         "%d scheme x probe replays" % self.probe_checks)
         if self.golden_checked:
             for label, violations in (
                     ("paper tolerance bands", self.band_violations),
@@ -144,8 +154,61 @@ def _note_divergence(report, scheme, seed, divergence, reproducer):
                             if reproducer is not None else None))
 
 
+def _run_probe_battery(report):
+    """Replay the characterization probe corpus differentially.
+
+    The probe traces (capacity chains, alias chains, counter steps,
+    history ladders, victim probes, disagreement weaves — see
+    :func:`repro.characterize.probes.probe_battery`) are adversarial
+    by construction: they oversubscribe sets and maximise aliasing,
+    regimes the program-skeleton fuzzer essentially never reaches.
+    Each trace runs through (a) lockstep oracle replay for the schemes
+    that have reference oracles and (b) the scalar-vs-vector engine
+    cross-check for every kernel-backed scheme; divergences are shrunk
+    like any fuzz finding.
+    """
+    from repro.characterize.probes import probe_battery
+
+    oracle_schemes = (
+        ("SBTB", lambda: SimpleBTB(entries=_ENTRIES),
+         lambda: oracle_for("SBTB", entries=_ENTRIES)),
+        ("CBTB", lambda: CounterBTB(entries=_ENTRIES),
+         lambda: oracle_for("CBTB", entries=_ENTRIES)),
+    )
+    engine_schemes = (
+        ("SBTB", lambda: SimpleBTB(entries=_ENTRIES)),
+        ("CBTB", lambda: CounterBTB(entries=_ENTRIES)),
+        ("gshare", lambda: GShare(history_bits=4, entries=_ENTRIES)),
+        ("bimodal", lambda: Bimodal(entries=_ENTRIES)),
+    )
+    for family, name, trace in probe_battery(entries=_ENTRIES):
+        probe = "%s/%s" % (family, name)
+        for scheme, make_production, make_oracle in oracle_schemes:
+            report.probe_checks += 1
+            divergence = replay_divergence(make_production(),
+                                           make_oracle(), trace)
+            if divergence is not None:
+                reproducer = shrink_trace(
+                    trace,
+                    lambda t, mp=make_production, mo=make_oracle:
+                    replay_divergence(mp(), mo(), t) is not None)
+                _note_divergence(report, "%s@probe:%s" % (scheme, probe),
+                                 -1, divergence, reproducer)
+        for scheme, make_production in engine_schemes:
+            report.probe_checks += 1
+            divergence = engine_divergence(make_production, trace)
+            if divergence is not None:
+                reproducer = shrink_trace(
+                    trace,
+                    lambda t, mp=make_production:
+                    engine_divergence(mp, t) is not None)
+                _note_divergence(report,
+                                 "%s@engine:%s" % (scheme, probe),
+                                 -1, divergence, reproducer)
+
+
 def run_conformance(seeds=200, first_seed=0, golden=True, cache=True,
-                    schemes=("SBTB", "CBTB", "FS")):
+                    schemes=("SBTB", "CBTB", "FS"), probes=True):
     """Run the full conformance battery; returns a ConformanceReport.
 
     Args:
@@ -155,8 +218,13 @@ def run_conformance(seeds=200, first_seed=0, golden=True, cache=True,
         golden: also run the paper-band and golden-file checks.
         cache: let the golden layer use the trace cache.
         schemes: subset of production schemes to check differentially.
+        probes: also replay the characterization probe battery (fixed
+            adversarial traces) through the oracles and both engines.
     """
     report = ConformanceReport(seeds, schemes)
+    if probes:
+        with TELEMETRY.span("conformance.probes"):
+            _run_probe_battery(report)
     with TELEMETRY.span("conformance.differential", seeds=seeds):
         for seed in range(first_seed, first_seed + seeds):
             TELEMETRY.count("conformance.seeds")

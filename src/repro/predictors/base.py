@@ -156,6 +156,18 @@ class Predictor:
         """
         return {"scheme": self.name}
 
+    def declared_parameters(self):
+        """The configuration this predictor *claims* to implement.
+
+        The characterization harness (:mod:`repro.characterize`)
+        recovers the same parameters purely from probe traces through
+        ``simulate()`` and diffs them against this declaration: a
+        mismatch is, by construction, either an inference bug or a
+        simulator bug.  Schemes only declare the keys they have a
+        claim about; the base implementation declares nothing.
+        """
+        return {}
+
 
 def is_correct(prediction, taken, target):
     """Score a prediction against the actual branch outcome.

@@ -61,6 +61,19 @@ class Bimodal(Predictor):
         self.counters = [1] * len(self.counters)
         self._targets.clear()
 
+    def declared_parameters(self):
+        return {
+            "buffered": True,
+            "entries": self._targets.entries,
+            "associativity": self._targets.associativity,
+            "n_sets": self._targets.n_sets,
+            "counter_bits": 2,
+            "threshold": 2,
+            "history_depth": 0,
+            "replacement": "lru",
+            "flush_sensitive": True,
+        }
+
 
 class Tournament(Predictor):
     """A chooser selects between two direction predictors per branch.
@@ -107,3 +120,11 @@ class Tournament(Predictor):
         self.first.reset()
         self.second.reset()
         self.chooser = [1] * len(self.chooser)
+
+    def declared_parameters(self):
+        # Geometry/history are whatever the chooser routes to, so the
+        # combined predictor only stands behind the structural facts.
+        declared = {"buffered": True, "flush_sensitive": True}
+        if isinstance(self.second, GShare):
+            declared["history_depth"] = self.second.history_bits
+        return declared

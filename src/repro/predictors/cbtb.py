@@ -101,6 +101,19 @@ class CounterBTB(Predictor):
             stats["counter_transitions"] = dict(self.transitions)
         return stats
 
+    def declared_parameters(self):
+        return {
+            "buffered": True,
+            "entries": self._cache.entries,
+            "associativity": self._cache.associativity,
+            "n_sets": self._cache.n_sets,
+            "counter_bits": self.counter_bits,
+            "threshold": self.threshold,
+            "history_depth": 0,
+            "replacement": "lru",
+            "flush_sensitive": True,
+        }
+
     def __repr__(self):
         return "CounterBTB(%d entries, %d-bit, T=%d, %d used)" % (
             self._cache.entries, self.counter_bits, self.threshold,

@@ -81,6 +81,10 @@ class ForwardSemanticPredictor(Predictor):
     def reset(self):
         pass
 
+    def declared_parameters(self):
+        return {"buffered": False, "history_depth": 0,
+                "flush_sensitive": False}
+
     def telemetry_stats(self):
         likely = sum(1 for bit in self._likely.values() if bit)
         return {

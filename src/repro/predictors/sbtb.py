@@ -49,6 +49,17 @@ class SimpleBTB(Predictor):
         stats["scheme"] = self.name
         return stats
 
+    def declared_parameters(self):
+        return {
+            "buffered": True,
+            "entries": self._cache.entries,
+            "associativity": self._cache.associativity,
+            "n_sets": self._cache.n_sets,
+            "history_depth": 0,
+            "replacement": "lru",
+            "flush_sensitive": True,
+        }
+
     def __repr__(self):
         return "SimpleBTB(%d entries, %d used)" % (
             self._cache.entries, len(self._cache))

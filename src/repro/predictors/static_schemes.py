@@ -23,6 +23,10 @@ class _StaticScheme(Predictor):
     def flush(self):
         pass
 
+    def declared_parameters(self):
+        return {"buffered": False, "history_depth": 0,
+                "flush_sensitive": False}
+
 
 class AlwaysTaken(_StaticScheme):
     """Predict every branch taken (direction accuracy only)."""

@@ -81,6 +81,17 @@ class GShare(Predictor):
         self.counters = [1] * len(self.counters)
         self._targets.clear()
 
+    def declared_parameters(self):
+        return {
+            "buffered": True,
+            "entries": self._targets.entries,
+            "associativity": self._targets.associativity,
+            "n_sets": self._targets.n_sets,
+            "history_depth": self.history_bits,
+            "replacement": "lru",
+            "flush_sensitive": True,
+        }
+
     def __repr__(self):
         return "GShare(%d-bit history, %d counters)" % (
             self.history_bits, len(self.counters))

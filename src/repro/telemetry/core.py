@@ -27,6 +27,7 @@ Design points:
   exactly as they always did.
 """
 
+import math
 import random
 import threading
 import time
@@ -90,12 +91,20 @@ class Histogram:
         return self.total / self.count
 
     def percentile(self, q):
-        """The q-th percentile (0-100) by nearest rank, or None."""
+        """The q-th percentile (0-100) by nearest rank, or None.
+
+        Nearest rank is ``ceil(q/100 * n)`` clamped to ``[1, n]`` — an
+        empty reservoir answers ``None``, a single-sample reservoir
+        answers its sample for every q (the short-run probe-latency
+        histograms hit both).  The previous round-half-up rank
+        under-reported high percentiles on small reservoirs (p95 of 11
+        samples returned the 10th sample instead of the maximum).
+        """
         if not self._samples:
             return None
         ordered = sorted(self._samples)
-        rank = int((q / 100.0) * len(ordered) + 0.5)
-        return ordered[max(0, min(rank, len(ordered)) - 1)]
+        rank = math.ceil((q / 100.0) * len(ordered))
+        return ordered[min(max(rank, 1), len(ordered)) - 1]
 
     def to_dict(self):
         return {"count": self.count, "total": self.total,

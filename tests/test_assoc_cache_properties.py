@@ -1,0 +1,216 @@
+"""Hypothesis property suite for the AssociativeCache recency contract.
+
+The conformance oracles and the vector kernels both re-implement this
+structure's replacement behaviour, so its contract has to be pinned
+precisely: an op either refreshes recency (``lookup`` hit, ``insert``)
+or provably leaves the order untouched (``peek``, ``replace``,
+``contains``, ``items``, ``lru_order``, ``delete`` of an absent key).
+A reference model — per-set Python lists, LRU first — replays random
+op sequences in lockstep and compares ``lru_order`` after every step,
+which is exactly the witness the differential engine snapshots.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.predictors import AssociativeCache
+
+#: Small geometries so random keys collide and evict constantly.
+_GEOMETRIES = [(1, 1), (2, 1), (2, 2), (4, 2), (4, 4), (8, 2), (8, 4)]
+
+
+class _Model:
+    """Reference model: per-set key lists, LRU-first."""
+
+    def __init__(self, entries, associativity):
+        self.ways = associativity
+        self.n_sets = entries // associativity
+        self.sets = [[] for _ in range(self.n_sets)]
+        self.values = {}
+
+    def _bucket(self, key):
+        return self.sets[key % self.n_sets]
+
+    def _refresh(self, key):
+        bucket = self._bucket(key)
+        bucket.remove(key)
+        bucket.append(key)
+
+    def lookup(self, key):
+        if key not in self.values:
+            return None
+        self._refresh(key)
+        return self.values[key]
+
+    def insert(self, key, value):
+        bucket = self._bucket(key)
+        if key in self.values:
+            # The production cache refreshes on re-insert too (see
+            # AssociativeCache.insert), even though an explicit
+            # replace() is the non-refreshing way to update a value.
+            self.values[key] = value
+            self._refresh(key)
+            return None
+        evicted = None
+        if len(bucket) >= self.ways:
+            victim = bucket.pop(0)
+            evicted = (victim, self.values.pop(victim))
+        bucket.append(key)
+        self.values[key] = value
+        return evicted
+
+    def replace(self, key, value):
+        if key not in self.values:
+            return False
+        self.values[key] = value
+        return True
+
+    def delete(self, key):
+        if key not in self.values:
+            return False
+        self._bucket(key).remove(key)
+        del self.values[key]
+        return True
+
+    def lru_order(self):
+        return tuple(key for bucket in self.sets for key in bucket)
+
+    def items(self):
+        return {(key, self.values[key])
+                for bucket in self.sets for key in bucket}
+
+
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["lookup", "insert", "replace", "peek",
+                         "contains", "delete", "lru_order", "items"]),
+        st.integers(min_value=0, max_value=12),    # key
+        st.integers(min_value=1, max_value=99),    # value (never None)
+    ),
+    max_size=80,
+)
+
+
+@pytest.mark.parametrize("entries,associativity", _GEOMETRIES)
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS)
+def test_cache_matches_reference_model(entries, associativity, ops):
+    cache = AssociativeCache(entries, associativity=associativity)
+    model = _Model(entries, associativity)
+    for op, key, value in ops:
+        if op == "lookup":
+            assert cache.lookup(key) == model.lookup(key)
+        elif op == "insert":
+            assert cache.insert(key, value) == model.insert(key, value)
+        elif op == "replace":
+            assert cache.replace(key, value) == model.replace(key, value)
+        elif op == "peek":
+            assert cache.peek(key) == model.values.get(key)
+        elif op == "contains":
+            assert cache.contains(key) == (key in model.values)
+        elif op == "delete":
+            assert cache.delete(key) == model.delete(key)
+        elif op == "lru_order":
+            assert cache.lru_order() == model.lru_order()
+        else:
+            assert set(cache.items()) == model.items()
+        # The witness the differential engine snapshots: equal recency
+        # order after *every* op, not just at the end.
+        assert cache.lru_order() == model.lru_order()
+        assert len(cache) == len(model.values)
+        assert len(cache) <= entries
+
+
+@pytest.mark.parametrize("entries,associativity", _GEOMETRIES)
+@settings(max_examples=60, deadline=None)
+@given(ops=_OPS, probes=st.lists(
+    st.tuples(st.sampled_from(["peek", "replace", "contains",
+                               "lru_order", "items", "delete_absent"]),
+              st.integers(min_value=0, max_value=12),
+              st.integers(min_value=1, max_value=99)),
+    max_size=20))
+def test_observers_never_perturb_recency(entries, associativity, ops,
+                                         probes):
+    """peek/replace/contains/items/lru_order (and delete of an absent
+    key) must leave the replacement order bit-identical — the property
+    that lets mid-replay state snapshots be non-invasive."""
+    cache = AssociativeCache(entries, associativity=associativity)
+    for op, key, value in ops:
+        if op == "insert":
+            cache.insert(key, value)
+        elif op == "lookup":
+            cache.lookup(key)
+        elif op == "delete":
+            cache.delete(key)
+    before = cache.lru_order()
+    size = len(cache)
+    for op, key, value in probes:
+        if op == "peek":
+            cache.peek(key)
+        elif op == "replace":
+            cache.replace(key, value)
+        elif op == "contains":
+            cache.contains(key)
+        elif op == "lru_order":
+            cache.lru_order()
+        elif op == "items":
+            list(cache.items())
+        else:
+            if not cache.contains(key):
+                assert cache.delete(key) is False
+        assert cache.lru_order() == before
+        assert len(cache) == size
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=30),
+                     min_size=1, max_size=40))
+def test_eviction_victim_is_set_lru(keys):
+    """Every eviction removes exactly the first-listed key of the
+    victim's set in lru_order()."""
+    cache = AssociativeCache(4, associativity=2)
+    for key in keys:
+        if cache.contains(key):
+            cache.insert(key, key + 1)
+            continue
+        bucket_before = [k for k in cache.lru_order()
+                         if k % cache.n_sets == key % cache.n_sets]
+        evicted = cache.insert(key, key + 1)
+        if len(bucket_before) >= cache.associativity:
+            assert evicted is not None
+            assert evicted[0] == bucket_before[0]
+        else:
+            assert evicted is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=st.lists(st.integers(min_value=0, max_value=30),
+                     unique=True, min_size=2, max_size=8))
+def test_lookup_and_reinsert_both_refresh(keys):
+    """A hit — via lookup() or re-insert() — moves the key to the MRU
+    end of its set without touching any other set's order."""
+    cache = AssociativeCache(8, associativity=8)
+    for key in keys:
+        cache.insert(key, key + 1)
+    assert cache.lru_order() == tuple(keys)
+    victim = keys[0]
+    cache.lookup(victim)
+    assert cache.lru_order() == tuple(keys[1:]) + (victim,)
+    cache.insert(victim, victim + 2)   # re-insert: refresh, no evict
+    assert cache.lru_order() == tuple(keys[1:]) + (victim,)
+    assert cache.peek(victim) == victim + 2
+    assert len(cache) == len(keys)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        AssociativeCache(0)
+    with pytest.raises(ValueError):
+        AssociativeCache(8, associativity=0)
+    with pytest.raises(ValueError):
+        AssociativeCache(8, associativity=3)
+    cache = AssociativeCache(4)
+    with pytest.raises(ValueError):
+        cache.insert(1, None)
+    with pytest.raises(ValueError):
+        cache.replace(1, None)

@@ -135,6 +135,55 @@ def test_histogram_percentiles_empty_and_single():
     assert histogram.percentile(99) == 7.0
 
 
+def test_histogram_percentiles_nearest_rank_small_reservoirs():
+    """Regression: the rank must be ceil(q/100 * n), not round-half-up.
+
+    The rounding variant under-reported high percentiles on the small
+    reservoirs short probe runs produce: p95 of 11 samples has nearest
+    rank ceil(10.45) = 11 (the maximum), but round-half-up answered
+    rank 10 (the second-largest).
+    """
+    from repro.telemetry.core import Histogram
+
+    histogram = Histogram("x")
+    for value in range(1, 12):         # 11 samples: 1..11
+        histogram.record(float(value))
+    assert histogram.percentile(95) == 11.0
+    assert histogram.percentile(99) == 11.0
+    assert histogram.percentile(50) == 6.0   # ceil(5.5) = 6
+
+    decade = Histogram("y")
+    for value in range(1, 11):         # 10 samples: 1..10
+        decade.record(float(value))
+    assert decade.percentile(94) == 10.0     # ceil(9.4) = 10
+    assert decade.percentile(90) == 9.0      # exact boundary
+    assert decade.percentile(1) == 1.0       # clamps to the minimum
+    assert decade.percentile(0) == 1.0
+    assert decade.percentile(100) == 10.0
+
+    pair = Histogram("z")
+    pair.record(3.0)
+    pair.record(9.0)
+    assert pair.percentile(50) == 3.0
+    assert pair.percentile(51) == 9.0
+    assert pair.to_dict()["p95"] == 9.0
+
+
+def test_histogram_two_sample_exposition_quantiles():
+    """A short-run histogram must expose sane quantiles end to end
+    (the probe-latency histograms routinely hold one or two samples)."""
+    from repro.telemetry.core import Telemetry
+    from repro.telemetry.exposition import prometheus_text
+
+    registry = Telemetry(enabled=True)
+    registry.record("characterize_probe", 2.0)
+    snapshot = registry.snapshot()
+    data = snapshot["histograms"]["characterize_probe"]
+    assert data["p50"] == data["p95"] == data["p99"] == 2.0
+    text = prometheus_text(snapshot)
+    assert 'quantile="0.99"' in text
+
+
 def test_histogram_reservoir_bounded_and_deterministic():
     from repro.telemetry.core import Histogram
 
