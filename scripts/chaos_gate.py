@@ -1,0 +1,225 @@
+"""Chaos gate: SIGKILL the campaign service mid-flight; nothing is
+lost, nothing runs twice, tables stay bit-identical.
+
+The scenario (see docs/SERVICE.md):
+
+1. **Clean run** — launch ``repro-branches serve`` on a fresh cache
+   dir, submit a fixed campaign, wait for completion, record the
+   tables.
+2. **Chaos run** — launch the service on a second fresh cache dir
+   with ``REPRO_SERVICE_SHARD_DELAY`` slowing each shard, submit the
+   same campaign, wait until *some but not all* shards completed,
+   then SIGKILL the server process.
+3. **Recovery** — restart the service over the same cache dir.  The
+   journalled campaign must resume: completed cells intact,
+   unfinished shards re-dispatched, final status ``done``.
+
+Assertions:
+
+* the recovered tables are byte-identical to the clean run's (after
+  normalising the campaign id in the title);
+* the executions log holds every shard key **exactly once** — a shard
+  that completed before the kill is never re-executed, a shard killed
+  mid-flight is logged only by its post-restart execution;
+* both instances appear in the log (the kill really was mid-flight);
+* the restarted instance's telemetry shows
+  ``resumed + executed == total shards``.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The fixed campaign both runs submit: 4 probe rows x 2 schemes =
+#: 8 deterministic shards, no benchmark pipeline, so the whole gate
+#: stays a smoke test.
+CAMPAIGN = {
+    "kind": "probe",
+    "probes": [
+        {"family": "chain", "m": 4, "stride": 1, "laps": 6},
+        {"family": "chain", "m": 8, "stride": 2, "laps": 6},
+        {"family": "ladder", "k": 3, "periods": 5},
+        {"family": "step", "takens": 6, "not_takens": 6,
+         "takens_again": 6},
+    ],
+    "schemes": [
+        {"scheme": "SBTB", "entries": 64},
+        {"scheme": "GShare", "history_bits": 4, "table_bits": 8},
+    ],
+}
+TOTAL_SHARDS = len(CAMPAIGN["probes"]) * len(CAMPAIGN["schemes"])
+
+#: Per-shard worker delay during the chaos run, so the SIGKILL lands
+#: mid-campaign deterministically.
+SHARD_DELAY_S = "0.4"
+
+
+def _fail(message):
+    print("chaos gate: FAIL: %s" % message)
+    sys.exit(1)
+
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _post(base, path, payload):
+    request = urllib.request.Request(
+        base + path, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _launch(cache_dir, shard_delay=None):
+    """Start ``repro-branches serve``; returns (process, base_url)."""
+    env = dict(os.environ,
+               PYTHONPATH=str(REPO_ROOT / "src"),
+               REPRO_CACHE_DIR=str(cache_dir))
+    if shard_delay is not None:
+        env["REPRO_SERVICE_SHARD_DELAY"] = shard_delay
+    else:
+        env.pop("REPRO_SERVICE_SHARD_DELAY", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=env, cwd=str(REPO_ROOT))
+    line = process.stdout.readline().strip()
+    if not line.startswith("serving on "):
+        process.kill()
+        _fail("server did not start (banner: %r)" % line)
+    return process, line.split()[-1]
+
+
+def _wait_done(base, campaign_id, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = _get(base, "/campaigns/%s" % campaign_id)
+        if status["status"] != "running":
+            return status["status"]
+        time.sleep(0.1)
+    _fail("campaign %s still running after %.0fs"
+          % (campaign_id, timeout))
+
+
+def _normalized_tables(base, campaign_id):
+    tables = _get(base, "/campaigns/%s/tables" % campaign_id)
+    text = tables["text"].replace(campaign_id, "CAMPAIGN")
+    return tables, text
+
+
+def _executions(cache_dir):
+    path = Path(cache_dir) / "service" / "executions.jsonl"
+    entries = []
+    if path.exists():
+        for line in path.read_text().splitlines():
+            if line.strip():
+                entries.append(json.loads(line))
+    return entries
+
+
+def main():
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        clean_dir = Path(scratch) / "clean"
+        chaos_dir = Path(scratch) / "chaos"
+
+        # -- 1: clean run ---------------------------------------------------
+        process, base = _launch(clean_dir)
+        try:
+            campaign_id = _post(base, "/campaigns", CAMPAIGN)["id"]
+            status = _wait_done(base, campaign_id)
+            if status != "done":
+                _fail("clean run finished %r, expected done" % status)
+            clean_tables, clean_text = _normalized_tables(
+                base, campaign_id)
+        finally:
+            process.send_signal(signal.SIGINT)
+            process.wait(timeout=10)
+        if clean_tables["degraded"]:
+            _fail("clean run produced a degraded table")
+        print("chaos gate: clean run done (%d shards)" % TOTAL_SHARDS)
+
+        # -- 2: chaos run, SIGKILL mid-flight -------------------------------
+        process, base = _launch(chaos_dir, shard_delay=SHARD_DELAY_S)
+        campaign_id = _post(base, "/campaigns", CAMPAIGN)["id"]
+        deadline = time.monotonic() + 60.0
+        while True:
+            if time.monotonic() >= deadline:
+                process.kill()
+                _fail("no shard completed before the kill window")
+            done = _get(base, "/campaigns/%s"
+                        % campaign_id)["by_status"].get("done", 0)
+            if 0 < done < TOTAL_SHARDS:
+                break
+            time.sleep(0.05)
+        process.kill()          # SIGKILL: no shutdown path runs
+        process.wait(timeout=10)
+        before_kill = _executions(chaos_dir)
+        print("chaos gate: SIGKILLed mid-flight after %d/%d shards "
+              "(%d logged)" % (done, TOTAL_SHARDS, len(before_kill)))
+        if not before_kill:
+            _fail("kill landed before any execution was journalled")
+
+        # -- 3: restart and recover -----------------------------------------
+        process, base = _launch(chaos_dir)
+        try:
+            status = _wait_done(base, campaign_id)
+            if status != "done":
+                _fail("recovered campaign finished %r, expected done"
+                      % status)
+            chaos_tables, chaos_text = _normalized_tables(
+                base, campaign_id)
+            counters = _get(base, "/stats")["counters"]
+        finally:
+            process.send_signal(signal.SIGINT)
+            process.wait(timeout=10)
+
+        # -- assertions ------------------------------------------------------
+        if chaos_text != clean_text:
+            _fail("tables differ after recovery:\n--- clean ---\n%s"
+                  "\n--- recovered ---\n%s" % (clean_text, chaos_text))
+        if chaos_tables["rows"] != clean_tables["rows"]:
+            _fail("table cell values differ after recovery")
+
+        entries = _executions(chaos_dir)
+        keys = [entry["key"] for entry in entries]
+        duplicates = sorted({key for key in keys
+                             if keys.count(key) > 1})
+        if duplicates:
+            _fail("shard(s) executed more than once: %s"
+                  % ", ".join(duplicates))
+        if len(keys) != TOTAL_SHARDS:
+            _fail("executions log holds %d keys, expected %d"
+                  % (len(keys), TOTAL_SHARDS))
+        instances = {entry["instance"] for entry in entries}
+        if len(instances) < 2:
+            _fail("all executions came from one instance %s — the "
+                  "kill was not mid-flight" % instances)
+
+        resumed = counters.get("service.shard.resumed", 0)
+        executed = counters.get("service.shard.executed", 0)
+        if resumed + executed != TOTAL_SHARDS:
+            _fail("restart accounting broken: resumed=%d executed=%d "
+                  "(expected sum %d)" % (resumed, executed,
+                                         TOTAL_SHARDS))
+        if resumed < 1:
+            _fail("restart resumed no shards from the journal")
+
+        print("chaos gate: recovered %d resumed + %d executed shards; "
+              "tables bit-identical, zero duplicated executions"
+              % (resumed, executed))
+        print("chaos gate: PASS")
+
+
+if __name__ == "__main__":
+    main()

@@ -82,9 +82,11 @@ PYTHONPATH=src python -m repro conformance --seeds 25
 
 echo "== fault-injection smoke =="
 # Seeded recovery matrix: every fault class (torn write, bit flip,
-# ENOSPC, worker crash, worker hang, corrupt manifest) is injected
-# deterministically and must end in a verified recovery — the gate
-# fails if any injected fault is silently swallowed.
+# ENOSPC, worker crash, worker hang, corrupt manifest, plus the
+# service-level shard crash, queue overflow, deadline storm, and
+# slow client) is injected deterministically and must end in a
+# verified recovery — the gate fails if any injected fault is
+# silently swallowed.
 PYTHONPATH=src python -m repro faults --seeds 10
 
 echo "== trace gate =="
@@ -93,6 +95,14 @@ echo "== trace gate =="
 # tree — every attempt under its shard span, killed attempts adopted —
 # and the disabled-telemetry hot path must stay allocation-free.
 PYTHONPATH=src python scripts/trace_gate.py
+
+echo "== chaos gate =="
+# Campaign-service crash recovery: launch `repro-branches serve`,
+# submit a campaign, SIGKILL the server mid-flight, restart it over
+# the same cache dir — the journalled campaign must resume to tables
+# byte-identical to a clean run with zero duplicated shard
+# executions (asserted via the executions log and dedup telemetry).
+PYTHONPATH=src python scripts/chaos_gate.py
 
 echo "== kernel bench gate =="
 # Scalar-vs-vector engines on the headline workload: fails on any

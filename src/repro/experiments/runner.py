@@ -191,6 +191,38 @@ def default_cache_dir():
     return Path(__file__).resolve().parents[3] / ".repro_cache"
 
 
+def content_stem(name, scale=1.0, runs=None, profile_source="measured",
+                 source=None):
+    """The content-addressed cache stem of one benchmark's artifacts.
+
+    Everything that can change the cached trace is baked in: the
+    benchmark source hash, scale, effective run count, profile source,
+    and the cache format version.  The campaign service keys its
+    in-flight deduplication on this stem (plus the predictor config),
+    so two requests share one computation exactly when their inputs
+    are bit-identical — and a source edit or format bump changes the
+    stem, so nothing stale is ever deduplicated against.
+
+    ``source`` overrides the registry lookup (the runner passes the
+    program text it is actually about to trace); without it the
+    benchmark's registered source is hashed and ``runs`` is clamped to
+    the spec's run count.
+    """
+    if source is None:
+        from repro.benchmarksuite import get_benchmark
+
+        spec = get_benchmark(name)
+        n_runs = spec.runs if runs is None else min(runs, spec.runs)
+        source = spec.source
+    else:
+        n_runs = 1 if runs is None else runs
+    digest = hashlib.sha1(source.encode()).hexdigest()[:10]
+    marker = "" if profile_source == "measured" else "+static"
+    stem = "%s%s-s%s-r%d-v%d-%s" % (name, marker, repr(scale), n_runs,
+                                    CACHE_FORMAT_VERSION, digest)
+    return stem.replace(".", "_")
+
+
 def _parses_as_json_object(path):
     """True when ``path`` holds a JSON object (however unfamiliar).
 
@@ -335,12 +367,12 @@ class SuiteRunner:
         if self.cache_dir is None:
             return None, None
         # The source hash invalidates cached traces whenever the
-        # benchmark program (or the compiler output feeding it) changes.
-        digest = hashlib.sha1(source.encode()).hexdigest()[:10]
-        stem = "%s%s-s%s-r%d-v%d-%s" % (name, self._stem_marker(),
-                                        repr(self.scale), n_runs,
-                                        CACHE_FORMAT_VERSION, digest)
-        stem = stem.replace(".", "_")
+        # benchmark program (or the compiler output feeding it)
+        # changes; the stem derivation is shared with the campaign
+        # service's dedup keys (see content_stem).
+        stem = content_stem(name, scale=self.scale, runs=n_runs,
+                            profile_source=self.profile_source,
+                            source=source)
         return (self.cache_dir / (stem + ".npz"),
                 self.cache_dir / (stem + ".json"))
 

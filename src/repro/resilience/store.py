@@ -29,6 +29,7 @@ import hashlib
 import io
 import json
 import os
+import random
 import time
 from pathlib import Path
 
@@ -184,27 +185,53 @@ class StemLock:
     protocol.  Acquisition polls with a deadline and raises
     :class:`LockTimeout` rather than blocking a campaign forever on a
     hung peer.
+
+    Contended polling backs off exponentially with seeded +-50%
+    jitter (the supervisor's retry policy), from ``poll`` up to
+    ``max_poll`` — a fixed-cadence poll makes every contender hammer
+    the lock file in lockstep, which is exactly the thundering herd a
+    campaign of deduplicated shards would otherwise produce.  The
+    jitter seed is derived from the stem, so two contenders on the
+    same stem still decorrelate via their attempt phase while a test
+    replaying one acquirer sees identical delays.
     """
 
-    def __init__(self, directory, stem, timeout=600.0, poll=0.05):
+    def __init__(self, directory, stem, timeout=600.0, poll=0.05,
+                 max_poll=1.0):
         self.path = Path(directory) / (stem + ".lock")
         self.timeout = timeout
         self.poll = poll
+        self.max_poll = max_poll
         self._handle = None
+        self._rng = random.Random(stem)
+        self._clock = time.monotonic
+        self._sleep = time.sleep
+
+    def _backoff_delay(self, attempt, remaining):
+        """Sleep before retry ``attempt``: jittered, capped, and
+        clamped so the final poll lands on the deadline rather than
+        oversleeping past it."""
+        base = min(self.poll * (2 ** (attempt - 1)), self.max_poll)
+        delay = base * (0.5 + self._rng.random())
+        return max(min(delay, self.max_poll, remaining), 0.0)
 
     def acquire(self):
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        deadline = time.monotonic() + self.timeout
+        deadline = self._clock() + self.timeout
+        attempt = 0
         while True:
             if self._try_acquire():
                 return self
-            if time.monotonic() >= deadline:
+            attempt += 1
+            remaining = deadline - self._clock()
+            if remaining <= 0:
                 TELEMETRY.count("store.lock_timeout")
                 TELEMETRY.event("cache.lock_timeout",
                                 path=str(self.path),
-                                timeout_s=self.timeout)
+                                timeout_s=self.timeout,
+                                attempts=attempt)
                 raise LockTimeout(str(self.path), self.timeout)
-            time.sleep(self.poll)
+            self._sleep(self._backoff_delay(attempt, remaining))
 
     def _try_acquire(self):
         if fcntl is not None:

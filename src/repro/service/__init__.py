@@ -1,0 +1,45 @@
+"""The sharded sweep-campaign service.
+
+The serving layer on top of the reproduction pipeline: campaigns are
+validated into grids of content-addressed shards, admitted against a
+bounded queue with explicit backpressure, dispatched to a multiprocess
+worker pool with in-flight deduplication, bounded by per-campaign
+deadlines, degraded per-benchmark by circuit breakers, and journalled
+so a SIGKILLed service resumes exactly where it died.  See
+``docs/SERVICE.md`` for the operational contract.
+"""
+
+from repro.service.admission import AdmissionQueue
+from repro.service.breaker import CircuitBreaker
+from repro.service.campaign import Campaign, CampaignSpec
+from repro.service.client import CampaignFailed, ServiceClient
+from repro.service.dispatcher import CampaignService
+from repro.service.errors import (
+    AdmissionError,
+    ServiceError,
+    ServiceUnavailable,
+    SpecError,
+    UnknownCampaign,
+)
+from repro.service.http import ServiceServer
+from repro.service.journal import CampaignJournal
+from repro.service.shards import ShardSpec, execute_shard
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionQueue",
+    "Campaign",
+    "CampaignFailed",
+    "CampaignJournal",
+    "CampaignService",
+    "CampaignSpec",
+    "CircuitBreaker",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "ShardSpec",
+    "SpecError",
+    "UnknownCampaign",
+    "execute_shard",
+]

@@ -1,0 +1,146 @@
+"""Admission control: a bounded shard queue with explicit backpressure.
+
+The service never buffers unbounded work.  The queue holds at most
+``capacity`` distinct shard keys; a campaign whose *new* shards (after
+deduplication against cached results and in-flight work) do not fit is
+rejected at submission time with :class:`~repro.service.errors.
+AdmissionError` carrying a retry-after estimate, instead of being
+accepted and silently growing memory.  Rejection is cheap and honest:
+the client learns the queue depth and a drain estimate computed from
+the recent shard-latency EWMA, so a well-behaved client backs off for
+roughly the right time.
+
+Entries carry a ``not_before`` timestamp so retried shards re-enter
+with jittered backoff without blocking fresh work behind them.
+"""
+
+import time
+
+from repro.service.errors import AdmissionError
+from repro.telemetry.core import TELEMETRY
+
+#: Fallback per-shard seconds before any shard has completed.
+_DEFAULT_SHARD_SECONDS = 1.0
+
+#: EWMA smoothing for the shard-latency estimate.
+_EWMA_ALPHA = 0.3
+
+
+class AdmissionQueue:
+    """Bounded FIFO of shard keys with backoff-aware scheduling.
+
+    Not thread-safe on its own; the dispatcher serialises access under
+    its lock.
+    """
+
+    def __init__(self, capacity=64, clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1 (got %r)"
+                             % capacity)
+        self.capacity = capacity
+        self._clock = clock
+        self._entries = []          # (not_before, sequence, key)
+        self._keys = set()
+        self._sequence = 0
+        self._shard_seconds = None  # EWMA of completed shard latency
+
+    # -- sizing --------------------------------------------------------------
+
+    @property
+    def depth(self):
+        return len(self._entries)
+
+    @property
+    def free(self):
+        return self.capacity - len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._keys
+
+    # -- latency model -------------------------------------------------------
+
+    def observe_latency(self, seconds):
+        """Feed one completed shard's wall-clock into the EWMA."""
+        if self._shard_seconds is None:
+            self._shard_seconds = seconds
+        else:
+            self._shard_seconds += _EWMA_ALPHA * (
+                seconds - self._shard_seconds)
+
+    @property
+    def shard_seconds(self):
+        return (self._shard_seconds if self._shard_seconds is not None
+                else _DEFAULT_SHARD_SECONDS)
+
+    def retry_after(self, needed, workers):
+        """Seconds until ``needed`` slots should have drained."""
+        backlog = max(self.depth + needed - self.capacity, 1)
+        estimate = backlog * self.shard_seconds / max(workers, 1)
+        return max(round(estimate, 2), 0.1)
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self, keys, workers=1):
+        """Enqueue ``keys`` or raise :class:`AdmissionError`.
+
+        All-or-nothing: a campaign is either fully admitted or fully
+        rejected — partial admission would leave the client owning a
+        half-queued campaign it can neither poll to completion nor
+        cleanly retry.
+        """
+        new = [key for key in keys if key not in self._keys]
+        if len(new) > self.free:
+            retry_after = self.retry_after(len(new), workers)
+            TELEMETRY.count("service.admission.rejected")
+            TELEMETRY.event("service.admission.rejected",
+                            needed=len(new), free=self.free,
+                            depth=self.depth, capacity=self.capacity,
+                            retry_after_s=retry_after)
+            raise AdmissionError(len(new), self.free, self.depth,
+                                 self.capacity, retry_after)
+        for key in new:
+            self._push(key, 0.0)
+        if new:
+            TELEMETRY.count("service.queue.enqueued", len(new))
+            TELEMETRY.record("service.queue.depth", self.depth)
+        return new
+
+    def _push(self, key, not_before):
+        self._sequence += 1
+        self._entries.append((not_before, self._sequence, key))
+        self._entries.sort()
+        self._keys.add(key)
+
+    def requeue(self, key, delay):
+        """Re-admit a retried shard after ``delay`` seconds.
+
+        Retries bypass the capacity check — the shard already holds
+        its slot conceptually; rejecting a retry would turn a
+        transient worker death into a lost shard.
+        """
+        if key not in self._keys:
+            self._push(key, self._clock() + delay)
+
+    def pop_ready(self):
+        """The next runnable key, or None (empty or all backing off)."""
+        if not self._entries:
+            return None
+        now = self._clock()
+        for index, (not_before, _seq, key) in enumerate(self._entries):
+            if not_before <= now:
+                del self._entries[index]
+                self._keys.discard(key)
+                return key
+        return None
+
+    def discard(self, key):
+        """Drop a key (its waiters all cancelled); True if present."""
+        if key not in self._keys:
+            return False
+        self._keys.discard(key)
+        self._entries = [entry for entry in self._entries
+                         if entry[2] != key]
+        return True
+
+    def __repr__(self):
+        return "AdmissionQueue(%d/%d)" % (self.depth, self.capacity)

@@ -1,0 +1,105 @@
+"""Per-benchmark circuit breakers: fail fast, serve degraded tables.
+
+A benchmark whose shards keep dying (a pathological input, a
+benchmark-specific simulator bug, a poisoned cache entry) must not
+take the whole campaign down with it, and must not burn the worker
+pool on retries that will not succeed.  Each breaker group (one per
+benchmark, one per probe scheme) follows the classic three-state
+machine:
+
+* **closed** — normal operation; consecutive failures are counted,
+  successes reset the count.
+* **open** — tripped after ``threshold`` consecutive failures.  New
+  shards in the group are *shed*: resolved immediately as degraded
+  cells (marked missing in the tables, never fabricated) without
+  touching a worker.
+* **half-open** — after ``cooldown`` seconds one probe shard is let
+  through.  Success closes the breaker; failure re-opens it for
+  another cooldown.
+
+Every transition emits a telemetry event and bumps a counter, so
+``repro-branches top``/``metrics`` can watch breaker state live.
+"""
+
+import time
+
+from repro.telemetry.core import TELEMETRY
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One breaker group's state machine."""
+
+    __slots__ = ("group", "threshold", "cooldown", "_clock", "state",
+                 "consecutive_failures", "opened_at", "_probing")
+
+    def __init__(self, group, threshold=3, cooldown=30.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        self.group = group
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def allow(self):
+        """May a shard of this group be dispatched right now?
+
+        In the open state, the first call after the cooldown expires
+        transitions to half-open and admits exactly one probe; every
+        other call sheds.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self._clock() - self.opened_at >= self.cooldown:
+                self.state = HALF_OPEN
+                self._probing = False
+                TELEMETRY.event("service.breaker.half_open",
+                                group=self.group)
+            else:
+                return False
+        if self.state == HALF_OPEN and not self._probing:
+            self._probing = True
+            return True
+        return False
+
+    def record_success(self):
+        if self.state != CLOSED:
+            TELEMETRY.count("service.breaker.closed")
+            TELEMETRY.event("service.breaker.close", group=self.group)
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+        self._probing = False
+
+    def record_failure(self):
+        """Count a failure; returns True when this one trips the breaker."""
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN or (
+                self.state == CLOSED
+                and self.consecutive_failures >= self.threshold):
+            self.state = OPEN
+            self.opened_at = self._clock()
+            self._probing = False
+            TELEMETRY.count("service.breaker.tripped")
+            TELEMETRY.event("service.breaker.open", group=self.group,
+                            consecutive_failures=(
+                                self.consecutive_failures))
+            return True
+        return False
+
+    def to_dict(self):
+        return {"group": self.group, "state": self.state,
+                "consecutive_failures": self.consecutive_failures}
+
+    def __repr__(self):
+        return "CircuitBreaker(%r, %s, failures=%d)" % (
+            self.group, self.state, self.consecutive_failures)

@@ -1,0 +1,180 @@
+"""Thin stdlib client for the campaign service.
+
+:class:`ServiceClient` speaks the HTTP/JSON protocol of
+:mod:`repro.service.http` with nothing but ``urllib``.  It implements
+the *well-behaved client* half of the backpressure contract: a 429
+admission rejection is honoured by sleeping for the server's
+``retry_after_s`` estimate (not a fixed constant, not a hot loop) and
+retrying a bounded number of times.
+
+It also adapts the service for the characterization harness:
+:meth:`observer` returns a ``(trace, flush_interval) -> stats``
+callable that ships each probe trace through the service as a
+one-shard campaign — so ``characterize(observe=client.observer(...))``
+black-box-probes a predictor it can only reach over the wire.
+"""
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.errors import (
+    AdmissionError,
+    ServiceError,
+    SpecError,
+    UnknownCampaign,
+)
+from repro.service.shards import stats_from_dict, trace_to_payload
+
+
+class CampaignFailed(ServiceError):
+    """A campaign finished without the cell the client needed."""
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8731")``."""
+
+    def __init__(self, base_url, timeout=30.0, admission_retries=5,
+                 sleep=time.sleep):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.admission_retries = admission_retries
+        self._sleep = sleep
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(self, method, path, payload=None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers,
+            method=method)
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            body = {}
+            try:
+                body = json.loads(error.read())
+            except ValueError:
+                pass
+            self._raise_for(error.code, body)
+            raise
+
+    @staticmethod
+    def _raise_for(code, body):
+        message = body.get("error", "HTTP %d" % code)
+        if code == 400:
+            raise SpecError(message)
+        if code == 404:
+            raise UnknownCampaign(message)
+        if code == 429:
+            raise AdmissionError(
+                0, 0, body.get("depth", 0), body.get("capacity", 0),
+                float(body.get("retry_after_s", 1.0)))
+        raise ServiceError("HTTP %d: %s" % (code, message))
+
+    # -- API -----------------------------------------------------------------
+
+    def healthz(self):
+        return self._request("GET", "/healthz")
+
+    def stats(self):
+        return self._request("GET", "/stats")
+
+    def submit(self, spec):
+        """Submit a campaign, honouring backpressure.
+
+        On a 429 the client sleeps for the server's ``retry_after_s``
+        and retries, up to ``admission_retries`` times; the final
+        rejection propagates as :class:`AdmissionError`.
+        """
+        for _attempt in range(self.admission_retries):
+            try:
+                return self._request("POST", "/campaigns", spec)
+            except AdmissionError as error:
+                self._sleep(error.retry_after_s)
+        return self._request("POST", "/campaigns", spec)
+
+    def status(self, campaign_id):
+        return self._request("GET", "/campaigns/%s" % campaign_id)
+
+    def results(self, campaign_id, since=0, wait=0.0):
+        return self._request(
+            "GET", "/campaigns/%s/results?since=%d&wait=%s"
+            % (campaign_id, since, wait))
+
+    def tables(self, campaign_id):
+        return self._request("GET", "/campaigns/%s/tables"
+                             % campaign_id)
+
+    def wait(self, campaign_id, timeout=120.0):
+        """Long-poll until the campaign is terminal; returns status.
+
+        Raises ``TimeoutError`` if the campaign is still running when
+        ``timeout`` expires — the campaign keeps running server-side.
+        """
+        deadline = time.monotonic() + timeout
+        since = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    "campaign %s still running after %.1fs"
+                    % (campaign_id, timeout))
+            payload = self.results(campaign_id, since=since,
+                                   wait=min(remaining, 10.0))
+            since = payload["next"]
+            if payload["status"] != "running":
+                return payload["status"]
+
+    # -- characterization adapter --------------------------------------------
+
+    def probe_stats(self, config, trace, flush_interval=None,
+                    timeout=60.0):
+        """Run one probe trace against ``config`` through the service.
+
+        Returns the shard's :class:`~repro.predictors.base.
+        PredictionStats`; raises :class:`CampaignFailed` if the
+        service degraded the cell instead of computing it.
+        """
+        probe = {"records": [list(record)
+                             for record in trace.records()],
+                 "total_instructions": trace.total_instructions}
+        spec = {"kind": "probe", "probes": [probe],
+                "schemes": [config]}
+        if flush_interval is not None:
+            spec["flush_interval"] = flush_interval
+        status = self.submit(spec)
+        campaign_id = status["id"]
+        self.wait(campaign_id, timeout=timeout)
+        payload = self.results(campaign_id)
+        for event in payload["events"]:
+            if event["status"] == "done":
+                return stats_from_dict(event["result"]["stats"])
+        reasons = ["%s/%s: %s" % (event["row"], event["column"],
+                                  event.get("reason") or
+                                  event["status"])
+                   for event in payload["events"]]
+        raise CampaignFailed(
+            "probe campaign %s produced no result (%s)"
+            % (campaign_id, "; ".join(reasons) or "no events"))
+
+    def observer(self, config, timeout=60.0):
+        """A ``(trace, flush_interval) -> stats`` callable for
+        ``characterize(observe=...)`` — probes over the wire."""
+
+        def _observe(trace, flush_interval=None):
+            return self.probe_stats(config, trace,
+                                    flush_interval=flush_interval,
+                                    timeout=timeout)
+
+        return _observe
+
+
+__all__ = ["ServiceClient", "CampaignFailed", "trace_to_payload"]

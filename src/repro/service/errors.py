@@ -1,0 +1,54 @@
+"""Typed error taxonomy of the campaign service.
+
+Every rejection a client can trigger has its own class, and every
+class carries the data the client needs to act on it — the admission
+queue does not just say "no", it says *when to come back*.  Service
+bugs keep raising plain exceptions; only these types map to HTTP
+status codes in :mod:`repro.service.http`.
+"""
+
+
+class ServiceError(Exception):
+    """Base class for everything the service deliberately raises."""
+
+
+class SpecError(ServiceError):
+    """A campaign specification that cannot be expanded into shards.
+
+    Maps to HTTP 400; the message is the entire diagnosis, so it names
+    the offending field and the accepted values.
+    """
+
+
+class AdmissionError(ServiceError):
+    """Backpressure: the bounded queue cannot take the new shards.
+
+    Carries ``retry_after_s`` — the service's estimate of when enough
+    of the queue will have drained — so clients back off for a useful
+    amount of time instead of hammering.  Maps to HTTP 429 with a
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, needed, free, depth, capacity, retry_after_s):
+        self.needed = needed
+        self.free = free
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            "queue full: %d shard%s needed, %d slot%s free "
+            "(depth %d/%d); retry after %.1fs"
+            % (needed, "" if needed == 1 else "s", free,
+               "" if free == 1 else "s", depth, capacity, retry_after_s))
+
+
+class UnknownCampaign(ServiceError):
+    """A campaign id the service has never seen (HTTP 404)."""
+
+    def __init__(self, campaign_id):
+        self.campaign_id = campaign_id
+        super().__init__("unknown campaign %r" % campaign_id)
+
+
+class ServiceUnavailable(ServiceError):
+    """The service is shutting down and not accepting work (HTTP 503)."""

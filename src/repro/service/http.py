@@ -1,0 +1,254 @@
+"""Stdlib HTTP/JSON front end for the campaign service.
+
+Endpoints (all JSON unless noted):
+
+``POST /campaigns``
+    Submit a campaign spec.  202 with the campaign's status dict;
+    400 on a :class:`SpecError`; 429 with a ``Retry-After`` header on
+    :class:`AdmissionError`; 503 while shutting down.
+``GET /campaigns/<id>``
+    Campaign status (404 for an unknown id).
+``GET /campaigns/<id>/results?since=N&wait=S``
+    Stream completion events past cursor ``N``.  With ``wait``, long-
+    polls up to ``S`` seconds (capped) for fresh events before
+    answering.
+``GET /campaigns/<id>/tables``
+    The campaign's tables under the degraded contract (missing cells
+    are ``null`` + listed with reasons, never fabricated).
+``GET /healthz``
+    Liveness: ``{"ok": true, "instance": ...}``.
+``GET /stats``
+    Service gauges: queue depth, inflight, breakers, campaign states,
+    telemetry counters.
+``GET /metrics``
+    Prometheus text exposition of the telemetry registry (text/plain).
+
+The server is a ``ThreadingHTTPServer`` of daemon threads — a stalled
+(slow-client) connection occupies its own thread and never blocks the
+dispatcher loop or other clients.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.errors import (
+    AdmissionError,
+    ServiceUnavailable,
+    SpecError,
+    UnknownCampaign,
+)
+from repro.telemetry.core import TELEMETRY
+
+#: Longest long-poll a single /results request may hold (seconds).
+MAX_WAIT_S = 30.0
+
+#: Largest request body accepted (a campaign spec with explicit probe
+#: records stays well under this; anything bigger is hostile).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests onto the shared :class:`CampaignService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-branches-service"
+
+    # BaseHTTPRequestHandler logs to stderr by default; the service
+    # has telemetry for that.
+    def log_message(self, format, *args):  # noqa: A002
+        TELEMETRY.event("service.http", line=format % args)
+
+    @property
+    def service(self):
+        return self.server.service
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_json(self, code, payload, headers=None):
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code, text, content_type="text/plain"):
+        body = text.encode()
+        self.send_response(code)
+        self.send_header("Content-Type",
+                         content_type + "; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise SpecError("request body too large (%d bytes, limit "
+                            "%d)" % (length, MAX_BODY_BYTES))
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise SpecError("empty request body (expected a JSON "
+                            "campaign spec)")
+        try:
+            return json.loads(raw)
+        except ValueError as error:
+            raise SpecError("request body is not valid JSON: %s"
+                            % error) from error
+
+    def _guarded(self, handler):
+        """Run a route handler, mapping the error taxonomy to HTTP."""
+        try:
+            try:
+                handler()
+            except SpecError as error:
+                self._send_json(400, {"error": str(error)})
+            except AdmissionError as error:
+                self._send_json(
+                    429,
+                    {"error": str(error),
+                     "retry_after_s": error.retry_after_s,
+                     "depth": error.depth, "capacity": error.capacity},
+                    headers={"Retry-After": "%d"
+                             % max(int(error.retry_after_s + 0.5), 1)})
+            except UnknownCampaign as error:
+                self._send_json(404, {"error": str(error)})
+            except ServiceUnavailable as error:
+                self._send_json(503, {"error": str(error) or
+                                      "service unavailable"})
+            except Exception as error:
+                TELEMETRY.count("service.http.errors")
+                TELEMETRY.event("service.http.error",
+                                error="%s: %s"
+                                % (type(error).__name__, error))
+                self._send_json(500, {"error": "internal error"})
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The client went away mid-request or mid-response (the
+            # slow-client scenario ends exactly here); nothing to do.
+            self.close_connection = True
+
+    # -- routes --------------------------------------------------------------
+
+    def do_POST(self):  # noqa: N802 (http.server naming)
+        parsed = urlparse(self.path)
+        if parsed.path == "/campaigns":
+            self._guarded(self._post_campaign)
+        else:
+            self._send_json(404, {"error": "no such route %r"
+                                  % parsed.path})
+
+    def _post_campaign(self):
+        payload = self._read_body()
+        status = self.service.submit(payload)
+        self._send_json(202, status)
+
+    def do_GET(self):  # noqa: N802
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = parse_qs(parsed.query)
+        if parts == ["healthz"]:
+            self._send_json(200, {"ok": True,
+                                  "instance":
+                                  self.service.instance_id})
+        elif parts == ["stats"]:
+            self._guarded(lambda: self._send_json(
+                200, self.service.stats()))
+        elif parts == ["metrics"]:
+            self._guarded(self._get_metrics)
+        elif len(parts) == 2 and parts[0] == "campaigns":
+            self._guarded(lambda: self._send_json(
+                200, self.service.status(parts[1])))
+        elif (len(parts) == 3 and parts[0] == "campaigns"
+                and parts[2] == "results"):
+            self._guarded(lambda: self._get_results(parts[1], query))
+        elif (len(parts) == 3 and parts[0] == "campaigns"
+                and parts[2] == "tables"):
+            self._guarded(lambda: self._send_json(
+                200, self.service.tables(parts[1])))
+        else:
+            self._send_json(404, {"error": "no such route %r"
+                                  % parsed.path})
+
+    def _get_metrics(self):
+        from repro.telemetry.exposition import prometheus_text
+
+        self._send_text(200, prometheus_text(TELEMETRY.snapshot()),
+                        content_type="text/plain; version=0.0.4")
+
+    def _get_results(self, campaign_id, query):
+        try:
+            since = int(query.get("since", ["0"])[0])
+            wait = float(query.get("wait", ["0"])[0])
+        except ValueError as error:
+            raise SpecError("since/wait must be numeric: %s"
+                            % error) from error
+        wait = min(max(wait, 0.0), MAX_WAIT_S)
+        deadline = time.monotonic() + wait
+        while True:
+            payload = self.service.events_since(campaign_id,
+                                                since=since)
+            if payload["events"] or payload["status"] != "running" \
+                    or time.monotonic() >= deadline:
+                self._send_json(200, payload)
+                return
+            time.sleep(0.05)
+
+
+class _QuietThreadingServer(ThreadingHTTPServer):
+    """Per-connection failures go to telemetry, not stderr."""
+
+    def handle_error(self, request, client_address):
+        import sys
+
+        error = sys.exc_info()[1]
+        TELEMETRY.event("service.http.connection_error",
+                        client="%s:%s" % client_address[:2],
+                        error="%s: %s" % (type(error).__name__, error))
+
+
+class ServiceServer:
+    """Owns the HTTP server + dispatcher pair for one service."""
+
+    def __init__(self, service, host="127.0.0.1", port=0):
+        self.service = service
+        self.httpd = _QuietThreadingServer((host, port), _Handler)
+        self.httpd.daemon_threads = True
+        self.httpd.service = service
+        self._thread = None
+
+    @property
+    def address(self):
+        host, port = self.httpd.server_address[:2]
+        return "http://%s:%d" % (host, port)
+
+    def start(self):
+        """Start the dispatcher loop and serve requests (background)."""
+        self.service.start()
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True,
+            name="campaign-http")
+        self._thread.start()
+        return self
+
+    def serve_forever(self):
+        """Start the dispatcher loop and serve on this thread."""
+        self.service.start()
+        try:
+            self.httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self):
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.stop()

@@ -1,0 +1,105 @@
+"""Crash-safe campaign journal: restart and resume, never re-run.
+
+The dispatcher journals every campaign to
+``<cache_dir>/service/campaign-<id>.json`` via the resilience layer's
+atomic writes, and appends every *completed* shard execution to
+``<cache_dir>/service/executions.jsonl``.  The ordering is the whole
+crash-recovery story:
+
+1. a shard's result is first folded into the campaign journal
+   (atomic replace, fsynced), and only **then**
+2. appended to the executions log.
+
+A SIGKILL between the two leaves a journal that already owns the
+result — the restarted service resumes the campaign with that cell
+done and never re-dispatches it — so a shard key can appear at most
+once per execution in the log, which is exactly what the chaos gate
+asserts.  The reverse order would log an execution whose result died
+with the process, forcing a re-run that the log would then count as a
+duplicate.
+
+Unreadable journals are quarantined (``*.corrupt``), never deleted.
+"""
+
+import json
+import os
+
+from repro.resilience.store import atomic_write_json, quarantine
+from repro.service.campaign import Campaign
+from repro.telemetry.core import TELEMETRY
+
+EXECUTIONS_LOG = "executions.jsonl"
+
+
+class CampaignJournal:
+    """Durable record of campaigns and shard executions."""
+
+    def __init__(self, directory):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._executions_path = os.path.join(directory, EXECUTIONS_LOG)
+
+    # -- campaigns -----------------------------------------------------------
+
+    def _campaign_path(self, campaign_id):
+        return os.path.join(self.directory,
+                            "campaign-%s.json" % campaign_id)
+
+    def write_campaign(self, campaign):
+        """Persist a campaign snapshot atomically."""
+        atomic_write_json(self._campaign_path(campaign.id),
+                          campaign.to_journal_dict())
+
+    def load_campaigns(self):
+        """Restore all journalled campaigns; quarantine bad records."""
+        campaigns = []
+        try:
+            names = sorted(os.listdir(self.directory))
+        except OSError:
+            return campaigns
+        for name in names:
+            if not (name.startswith("campaign-")
+                    and name.endswith(".json")):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    data = json.load(handle)
+                campaigns.append(Campaign.from_journal_dict(data))
+            except (ValueError, KeyError, OSError) as error:
+                quarantine(path, "unreadable campaign journal: %s"
+                           % error)
+                TELEMETRY.count("service.journal.quarantined")
+        return campaigns
+
+    # -- executions log ------------------------------------------------------
+
+    def record_execution(self, key, instance, attempt):
+        """Append one completed shard execution (called after the
+        campaign journal write — see module docstring)."""
+        line = json.dumps({"key": key, "instance": instance,
+                           "attempt": attempt}, sort_keys=True)
+        with open(self._executions_path, "a", encoding="utf-8") as log:
+            log.write(line + "\n")
+            log.flush()
+            os.fsync(log.fileno())
+
+    def executions(self):
+        """All logged executions (tolerant of a torn final line)."""
+        entries = []
+        try:
+            with open(self._executions_path, encoding="utf-8") as log:
+                for line in log:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entries.append(json.loads(line))
+                    except ValueError:
+                        continue    # torn tail from a crash mid-append
+        except OSError:
+            pass
+        return entries
+
+    def __repr__(self):
+        return "CampaignJournal(%r)" % self.directory

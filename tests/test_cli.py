@@ -301,3 +301,68 @@ def test_main_cache_lists_stale_not_corrupt(capsys, tmp_path,
     manifest.write_text(json.dumps(genuine))
     out = listing()
     assert "(stale)" not in out and "(corrupt)" not in out
+
+
+# -- faults exit-code contract: 0 recovered, 1 unexpected, 2 invalid ---------
+
+
+def test_main_faults_rejects_nonpositive_seeds(capsys):
+    exit_code = main(["faults", "--seeds", "0"])
+    assert exit_code == 2
+    assert "--seeds must be >= 1" in capsys.readouterr().err
+
+
+def test_main_faults_harness_crash_exits_1(capsys, monkeypatch):
+    import repro.resilience.harness as harness
+
+    def explode(seeds):
+        raise RuntimeError("harness fell over")
+
+    monkeypatch.setattr(harness, "run_fault_matrix", explode)
+    exit_code = main(["faults", "--seeds", "1"])
+    assert exit_code == 1
+    err = capsys.readouterr().err
+    assert "unexpected recovery failure" in err
+    assert "harness fell over" in err
+
+
+def test_main_faults_failed_recovery_exits_1(capsys, monkeypatch):
+    import repro.resilience.harness as harness
+
+    class FailedReport:
+        ok = False
+
+        def render(self):
+            return "RESULT: FAIL\n"
+
+        def to_dict(self):
+            return {"ok": False}
+
+    monkeypatch.setattr(harness, "run_fault_matrix",
+                        lambda seeds: FailedReport())
+    exit_code = main(["faults", "--seeds", "1"])
+    assert exit_code == 1
+    assert "RESULT: FAIL" in capsys.readouterr().out
+
+
+# -- serve argument validation ----------------------------------------------
+
+
+def test_main_serve_rejects_nonpositive_queue_capacity(capsys):
+    exit_code = main(["serve", "--queue-capacity", "0"])
+    assert exit_code == 2
+    assert "--queue-capacity must be >= 1" in capsys.readouterr().err
+
+
+def test_main_serve_rejects_nonpositive_shard_timeout(capsys):
+    exit_code = main(["serve", "--shard-timeout", "0"])
+    assert exit_code == 2
+    assert "--shard-timeout must be > 0" in capsys.readouterr().err
+
+
+def test_main_serve_allows_ephemeral_port_others_do_not(capsys):
+    # Port 0 means "pick one" for serve, but stays invalid for the
+    # metrics server, whose address must be announceable up front.
+    exit_code = main(["metrics", "--port", "0"])
+    assert exit_code == 2
+    assert "--port" in capsys.readouterr().err

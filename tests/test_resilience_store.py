@@ -247,3 +247,89 @@ def test_lock_dies_with_killed_holder(tmp_path):
     # flock dies with the holder: immediately acquirable again.
     with StemLock(tmp_path, "cross", timeout=2.0):
         pass
+
+
+# -- contended-lock backoff (jittered, capped, deadline-clamped) -------------
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _instrumented_lock(tmp_path, failures, **kwargs):
+    """A StemLock whose acquisition fails ``failures`` times and whose
+    clock/sleep are simulated, recording every backoff delay."""
+    lock = StemLock(tmp_path, "contended", **kwargs)
+    clock = _FakeClock()
+    delays = []
+    state = {"left": failures}
+
+    def fake_try_acquire():
+        if state["left"] > 0:
+            state["left"] -= 1
+            return False
+        lock._handle = object()     # don't touch the real lock file
+        return True
+
+    def fake_sleep(seconds):
+        delays.append(seconds)
+        clock.now += seconds
+
+    lock._try_acquire = fake_try_acquire
+    lock._clock = clock
+    lock._sleep = fake_sleep
+    return lock, clock, delays
+
+
+def test_contended_lock_backs_off_exponentially(tmp_path):
+    lock, _clock, delays = _instrumented_lock(
+        tmp_path, failures=6, timeout=600.0, poll=0.05, max_poll=1.0)
+    lock.acquire()
+    assert len(delays) == 6
+    # Every delay is the jittered base: base * [0.5, 1.5), where base
+    # doubles per attempt and saturates at max_poll.
+    for attempt, delay in enumerate(delays, start=1):
+        base = min(0.05 * 2 ** (attempt - 1), 1.0)
+        assert base * 0.5 <= delay <= min(base * 1.5, 1.0)
+    # Growth is real: late delays dwarf the first fixed-cadence poll.
+    assert delays[-1] > delays[0]
+    assert max(delays) <= 1.0           # capped at max_poll
+
+
+def test_contended_lock_jitter_is_seeded_by_stem(tmp_path):
+    one, _, delays_one = _instrumented_lock(tmp_path, failures=4)
+    two, _, delays_two = _instrumented_lock(tmp_path, failures=4)
+    one.acquire()
+    two.acquire()
+    # Same stem -> same seed -> identical replay (determinism)...
+    assert delays_one == delays_two
+    # ...and the jitter is actually jitter, not a constant factor.
+    ratios = {round(delay / min(0.05 * 2 ** attempt, 1.0), 6)
+              for attempt, delay in enumerate(delays_one)}
+    assert len(ratios) > 1
+
+
+def test_contended_lock_never_oversleeps_the_deadline(tmp_path):
+    lock, clock, delays = _instrumented_lock(
+        tmp_path, failures=10 ** 9, timeout=0.5, poll=0.2,
+        max_poll=10.0)
+    with pytest.raises(LockTimeout):
+        lock.acquire()
+    # The final sleep was clamped to the remaining budget: simulated
+    # time stops at the deadline instead of overshooting by a poll.
+    assert clock.now == pytest.approx(0.5)
+    assert all(delay <= 0.5 for delay in delays)
+
+
+def test_lock_timeout_event_reports_attempts(tmp_path, sink):
+    lock, _clock, delays = _instrumented_lock(
+        tmp_path, failures=10 ** 9, timeout=0.3, poll=0.1)
+    with pytest.raises(LockTimeout):
+        lock.acquire()
+    events = sink.named("cache.lock_timeout")
+    assert len(events) == 1
+    assert events[0]["attempts"] == len(delays) + 1

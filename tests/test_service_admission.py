@@ -1,0 +1,205 @@
+"""Tests for the bounded admission queue and circuit breakers."""
+
+import pytest
+
+from repro.service.admission import AdmissionQueue
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+)
+from repro.service.errors import AdmissionError
+from repro.telemetry.core import TELEMETRY
+from repro.telemetry.sinks import InMemoryAggregator
+
+
+@pytest.fixture(autouse=True)
+def sink():
+    aggregator = InMemoryAggregator()
+    TELEMETRY.enable(aggregator)
+    yield aggregator
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+# -- AdmissionQueue ----------------------------------------------------------
+
+
+def test_admit_within_capacity():
+    queue = AdmissionQueue(capacity=4, clock=FakeClock())
+    admitted = queue.admit(["a", "b", "c"])
+    assert admitted == ["a", "b", "c"]
+    assert queue.depth == 3
+    assert queue.free == 1
+    assert "a" in queue
+
+
+def test_admit_skips_already_queued_keys():
+    queue = AdmissionQueue(capacity=2, clock=FakeClock())
+    queue.admit(["a", "b"])
+    # "a" and "b" occupy the queue; re-admitting them is free and the
+    # all-or-nothing check only counts genuinely new keys.
+    assert queue.admit(["a", "b"]) == []
+    assert queue.depth == 2
+
+
+def test_admit_is_all_or_nothing(sink):
+    queue = AdmissionQueue(capacity=2, clock=FakeClock())
+    queue.admit(["a"])
+    with pytest.raises(AdmissionError) as excinfo:
+        queue.admit(["b", "c", "d"])
+    err = excinfo.value
+    assert err.needed == 3
+    assert err.free == 1
+    assert err.capacity == 2
+    assert err.retry_after_s > 0
+    # Nothing from the rejected batch was enqueued.
+    assert queue.depth == 1
+    assert "b" not in queue
+    assert sink.named("service.admission.rejected")
+
+
+def test_retry_after_scales_with_backlog_and_workers():
+    queue = AdmissionQueue(capacity=4, clock=FakeClock())
+    queue.admit(["a", "b", "c", "d"])
+    queue.observe_latency(2.0)
+    one_worker = queue.retry_after(needed=2, workers=1)
+    four_workers = queue.retry_after(needed=2, workers=4)
+    assert one_worker > four_workers
+    assert one_worker == pytest.approx(2 * 2.0, rel=0.01)
+
+
+def test_observe_latency_ewma_converges():
+    queue = AdmissionQueue(capacity=4, clock=FakeClock())
+    assert queue.shard_seconds == 1.0  # default before any sample
+    queue.observe_latency(4.0)
+    assert queue.shard_seconds == 4.0  # first sample seeds the EWMA
+    for _ in range(50):
+        queue.observe_latency(1.0)
+    assert queue.shard_seconds == pytest.approx(1.0, abs=0.01)
+
+
+def test_pop_ready_is_fifo():
+    queue = AdmissionQueue(capacity=4, clock=FakeClock())
+    queue.admit(["a", "b", "c"])
+    assert [queue.pop_ready() for _ in range(3)] == ["a", "b", "c"]
+    assert queue.pop_ready() is None
+
+
+def test_requeue_bypasses_capacity_and_delays():
+    clock = FakeClock()
+    queue = AdmissionQueue(capacity=1, clock=clock)
+    queue.admit(["a"])
+    # A retried shard re-enters even though the queue is full...
+    queue.requeue("b", delay=5.0)
+    assert queue.depth == 2
+    # ...but is not runnable until its backoff elapses; fresh work is
+    # not blocked behind it.
+    assert queue.pop_ready() == "a"
+    assert queue.pop_ready() is None
+    clock.advance(5.0)
+    assert queue.pop_ready() == "b"
+
+
+def test_requeue_is_idempotent_per_key():
+    queue = AdmissionQueue(capacity=2, clock=FakeClock())
+    queue.requeue("a", 0.0)
+    queue.requeue("a", 0.0)
+    assert queue.depth == 1
+
+
+def test_discard_removes_key():
+    queue = AdmissionQueue(capacity=4, clock=FakeClock())
+    queue.admit(["a", "b"])
+    assert queue.discard("a") is True
+    assert queue.discard("a") is False
+    assert "a" not in queue
+    assert queue.pop_ready() == "b"
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        AdmissionQueue(capacity=0)
+
+
+# -- CircuitBreaker ----------------------------------------------------------
+
+
+def test_breaker_trips_after_threshold():
+    clock = FakeClock()
+    breaker = CircuitBreaker("benchmark:wc", threshold=3,
+                             cooldown=10.0, clock=clock)
+    assert breaker.record_failure() is False
+    assert breaker.record_failure() is False
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+    assert breaker.record_failure() is True
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+    assert TELEMETRY.counter_value("service.breaker.tripped") == 1
+
+
+def test_success_resets_consecutive_failures():
+    breaker = CircuitBreaker("benchmark:wc", threshold=2,
+                             clock=FakeClock())
+    breaker.record_failure()
+    breaker.record_success()
+    assert breaker.record_failure() is False
+    assert breaker.state == CLOSED
+
+
+def test_half_open_admits_exactly_one_probe():
+    clock = FakeClock()
+    breaker = CircuitBreaker("benchmark:wc", threshold=1,
+                             cooldown=10.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(9.0)
+    assert not breaker.allow()
+    clock.advance(1.0)
+    assert breaker.allow()          # the probe
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow()      # everything else still sheds
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow()
+
+
+def test_half_open_failure_reopens():
+    clock = FakeClock()
+    breaker = CircuitBreaker("benchmark:wc", threshold=1,
+                             cooldown=10.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(10.0)
+    assert breaker.allow()
+    assert breaker.record_failure() is True
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+
+
+def test_breaker_to_dict_and_transitions_emit_events(sink):
+    clock = FakeClock()
+    breaker = CircuitBreaker("probe:SBTB", threshold=1,
+                             cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.0)
+    breaker.allow()
+    breaker.record_success()
+    assert breaker.to_dict() == {"group": "probe:SBTB",
+                                 "state": CLOSED,
+                                 "consecutive_failures": 0}
+    names = {event.get("name") for event in sink.events}
+    assert {"service.breaker.open", "service.breaker.half_open",
+            "service.breaker.close"} <= names

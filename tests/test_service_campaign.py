@@ -1,0 +1,283 @@
+"""Tests for campaign validation, state, tables, and the journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.campaign import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    MISSING_CELL,
+    Campaign,
+    CampaignSpec,
+    campaign_fingerprint,
+)
+from repro.service.errors import SpecError
+from repro.service.journal import CampaignJournal
+from repro.telemetry.core import TELEMETRY
+from repro.telemetry.sinks import InMemoryAggregator
+
+
+@pytest.fixture(autouse=True)
+def sink():
+    aggregator = InMemoryAggregator()
+    TELEMETRY.enable(aggregator)
+    yield aggregator
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+PROBE_PAYLOAD = {
+    "kind": "probe",
+    "probes": [{"family": "chain", "m": 4, "stride": 1, "laps": 6},
+               {"family": "ladder", "k": 3, "periods": 4}],
+    "schemes": [{"scheme": "SBTB", "entries": 32},
+                {"scheme": "AlwaysTaken"}],
+}
+
+
+def make_campaign(payload=None, campaign_id="cmp1", created=None):
+    spec = CampaignSpec.from_payload(payload or PROBE_PAYLOAD)
+    return Campaign(campaign_id, spec, created=created)
+
+
+def fake_result(key):
+    return {"key": key, "accuracy": 0.75, "miss_ratio": 0.25,
+            "stats": {}}
+
+
+# -- CampaignSpec validation -------------------------------------------------
+
+
+@pytest.mark.parametrize("payload, message", [
+    ([], "must be a JSON object"),
+    ({"kind": "audit", "schemes": [{"scheme": "SBTB"}]},
+     "unknown campaign kind"),
+    ({"kind": "probe", "probes": [{"family": "chain", "m": 2,
+                                   "stride": 1, "laps": 2}],
+      "schemes": [{"scheme": "SBTB"}], "color": "red"},
+     "unknown campaign field"),
+    ({"kind": "sweep", "benchmarks": ["wc"], "schemes": []},
+     "non-empty 'schemes'"),
+    ({"kind": "sweep", "schemes": [{"scheme": "SBTB"}]},
+     "non-empty 'benchmarks'"),
+    ({"kind": "sweep", "benchmarks": ["no-such-benchmark"],
+      "schemes": [{"scheme": "SBTB"}]}, "no-such-benchmark"),
+    ({"kind": "sweep", "benchmarks": ["wc", "wc"],
+      "schemes": [{"scheme": "SBTB"}]}, "duplicate benchmark"),
+    ({"kind": "probe", "schemes": [{"scheme": "SBTB"}]},
+     "non-empty 'probes'"),
+    ({"kind": "sweep", "benchmarks": ["wc"],
+      "schemes": [{"scheme": "SBTB"}], "scale": 0}, "'scale'"),
+    ({"kind": "sweep", "benchmarks": ["wc"],
+      "schemes": [{"scheme": "SBTB"}], "runs": 0}, "'runs'"),
+    ({"kind": "sweep", "benchmarks": ["wc"],
+      "schemes": [{"scheme": "SBTB"}], "profile_source": "guessed"},
+     "'profile_source'"),
+    ({"kind": "probe", "probes": [{"family": "chain", "m": 2,
+                                   "stride": 1, "laps": 2}],
+      "schemes": [{"scheme": "SBTB"}], "flush_interval": 0},
+     "'flush_interval'"),
+    ({"kind": "sweep", "benchmarks": ["wc"],
+      "schemes": [{"scheme": "SBTB"}], "engine": "quantum"},
+     "'engine'"),
+    ({"kind": "sweep", "benchmarks": ["wc"],
+      "schemes": [{"scheme": "SBTB"}], "deadline_s": -1},
+     "'deadline_s'"),
+])
+def test_from_payload_rejections_name_the_field(payload, message):
+    with pytest.raises(SpecError, match=message):
+        CampaignSpec.from_payload(payload)
+
+
+def test_from_payload_canonicalises_and_roundtrips():
+    spec = CampaignSpec.from_payload(PROBE_PAYLOAD)
+    assert spec.schemes[0]["entries"] == 32
+    assert spec.rows == ["chain(laps=6, m=4, stride=1)",
+                         "ladder(k=3, periods=4)"]
+    assert spec.columns == ["SBTB[32]", "AlwaysTaken"]
+    again = CampaignSpec.from_payload(spec.to_payload())
+    assert again.to_payload() == spec.to_payload()
+
+
+def test_expand_is_row_major():
+    spec = CampaignSpec.from_payload(PROBE_PAYLOAD)
+    shards = spec.expand()
+    assert len(shards) == 4
+    assert [(shard.row, shard.column) for shard in shards] == [
+        (spec.rows[0], "SBTB[32]"), (spec.rows[0], "AlwaysTaken"),
+        (spec.rows[1], "SBTB[32]"), (spec.rows[1], "AlwaysTaken"),
+    ]
+
+
+# -- Campaign state ----------------------------------------------------------
+
+
+def test_resolve_moves_cells_and_streams_events():
+    campaign = make_campaign()
+    assert campaign.status == "running"
+    first = campaign.shards[0]
+    assert campaign.resolve(first.key, DONE,
+                            result=fake_result(first.key)) == 1
+    assert campaign.resolve(first.key, DONE) == 0  # already terminal
+    assert len(campaign.events) == 1
+    event = campaign.events[0]
+    assert event["seq"] == 0
+    assert event["status"] == DONE
+    assert campaign.status == "running"
+    for shard in campaign.shards[1:]:
+        campaign.resolve(shard.key, DONE,
+                         result=fake_result(shard.key))
+    assert campaign.finished
+    assert campaign.status == "done"
+
+
+def test_status_degraded_when_any_cell_failed():
+    campaign = make_campaign()
+    campaign.resolve(campaign.shards[0].key, FAILED,
+                     reason="worker died")
+    for shard in campaign.shards[1:]:
+        campaign.resolve(shard.key, DONE,
+                         result=fake_result(shard.key))
+    assert campaign.status == "degraded"
+
+
+def test_deadline_is_absolute_epoch():
+    payload = dict(PROBE_PAYLOAD, deadline_s=10)
+    campaign = make_campaign(payload, created=1000.0)
+    assert campaign.deadline_epoch == 1010.0
+    assert not campaign.past_deadline(now=1009.9)
+    assert campaign.past_deadline(now=1010.0)
+    no_deadline = make_campaign()
+    assert not no_deadline.past_deadline(now=float("inf"))
+
+
+def test_to_status_dict_counts_by_status():
+    campaign = make_campaign()
+    campaign.resolve(campaign.shards[0].key, DONE,
+                     result=fake_result(campaign.shards[0].key))
+    status = campaign.to_status_dict()
+    assert status["id"] == "cmp1"
+    assert status["total"] == 4
+    assert status["by_status"] == {"done": 1, "pending": 3}
+    assert status["events"] == 1
+
+
+# -- the degraded-table contract ---------------------------------------------
+
+
+def test_tables_complete_campaign_is_not_degraded():
+    campaign = make_campaign()
+    for shard in campaign.shards:
+        campaign.resolve(shard.key, DONE,
+                         result=fake_result(shard.key))
+    tables = campaign.tables()
+    assert tables["degraded"] is False
+    assert tables["missing"] == []
+    assert MISSING_CELL not in tables["text"]
+    assert all(value == 0.75 for row in tables["rows"]
+               for value in row[1:])
+
+
+def test_tables_mark_missing_cells_never_fabricate():
+    campaign = make_campaign()
+    done = campaign.shards[0]
+    campaign.resolve(done.key, DONE, result=fake_result(done.key))
+    campaign.resolve(campaign.shards[1].key, CANCELLED,
+                     reason="deadline-expired")
+    # shards[2] and shards[3] stay pending.
+    tables = campaign.tables()
+    assert tables["degraded"] is True
+    assert len(tables["missing"]) == 3
+    reasons = {gap["reason"] for gap in tables["missing"]}
+    assert reasons == {"deadline-expired", "pending"}
+    # The grid keeps its full shape: None in JSON, the marker in text.
+    assert len(tables["rows"]) == 2
+    assert all(len(row) == 3 for row in tables["rows"])
+    assert tables["rows"][0][1] == 0.75
+    assert tables["rows"][0][2] is None
+    assert tables["text"].count(MISSING_CELL) == 3
+    assert "not fabricated" in tables["text"]
+
+
+# -- journal round trip ------------------------------------------------------
+
+
+def test_journal_dict_roundtrip_restores_cells():
+    campaign = make_campaign(dict(PROBE_PAYLOAD, deadline_s=60),
+                             created=500.0)
+    done = campaign.shards[0]
+    campaign.resolve(done.key, DONE, result=fake_result(done.key))
+    campaign.resolve(campaign.shards[1].key, FAILED, reason="boom")
+    restored = Campaign.from_journal_dict(campaign.to_journal_dict())
+    assert restored.id == campaign.id
+    assert restored.created == 500.0
+    assert restored.deadline_epoch == 560.0
+    assert {coords: cell["status"]
+            for coords, cell in restored.cells.items()} == \
+        {coords: cell["status"]
+         for coords, cell in campaign.cells.items()}
+    assert restored.cells[(done.row, done.column)]["result"][
+        "accuracy"] == 0.75
+    assert len(restored.pending) == 2
+
+
+def test_journal_dict_rejects_bad_version():
+    campaign = make_campaign()
+    data = campaign.to_journal_dict()
+    data["journal_version"] = 99
+    with pytest.raises(ValueError, match="journal version"):
+        Campaign.from_journal_dict(data)
+
+
+def test_campaign_fingerprint_is_stable():
+    one = CampaignSpec.from_payload(PROBE_PAYLOAD)
+    two = CampaignSpec.from_payload(json.loads(
+        json.dumps(PROBE_PAYLOAD)))
+    assert campaign_fingerprint(one) == campaign_fingerprint(two)
+
+
+# -- CampaignJournal ---------------------------------------------------------
+
+
+def test_journal_persists_and_reloads(tmp_path):
+    journal = CampaignJournal(str(tmp_path))
+    campaign = make_campaign()
+    campaign.resolve(campaign.shards[0].key, DONE,
+                     result=fake_result(campaign.shards[0].key))
+    journal.write_campaign(campaign)
+    loaded = journal.load_campaigns()
+    assert len(loaded) == 1
+    assert loaded[0].id == campaign.id
+    assert len(loaded[0].pending) == 3
+
+
+def test_journal_quarantines_corrupt_records(tmp_path, sink):
+    journal = CampaignJournal(str(tmp_path))
+    good = make_campaign(campaign_id="good")
+    journal.write_campaign(good)
+    bad_path = tmp_path / "campaign-bad.json"
+    bad_path.write_text("{not json", encoding="utf-8")
+    loaded = journal.load_campaigns()
+    assert [campaign.id for campaign in loaded] == ["good"]
+    assert not bad_path.exists()
+    corpses = [name for name in os.listdir(tmp_path)
+               if name.endswith(".corrupt")]
+    assert len(corpses) == 1
+    assert TELEMETRY.counter_value("service.journal.quarantined") == 1
+
+
+def test_executions_log_appends_and_tolerates_torn_tail(tmp_path):
+    journal = CampaignJournal(str(tmp_path))
+    assert journal.executions() == []
+    journal.record_execution("k1", "inst-a", 1)
+    journal.record_execution("k2", "inst-b", 2)
+    with open(os.path.join(str(tmp_path), "executions.jsonl"),
+              "a", encoding="utf-8") as log:
+        log.write('{"key": "k3", "ins')     # crash mid-append
+    entries = journal.executions()
+    assert [entry["key"] for entry in entries] == ["k1", "k2"]
+    assert entries[1] == {"key": "k2", "instance": "inst-b",
+                          "attempt": 2}

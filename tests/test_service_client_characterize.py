@@ -1,0 +1,81 @@
+"""Characterization as a service client (the wire changes nothing).
+
+The black-box probe battery only ever sees ``PredictionStats``; these
+tests swap its measurement channel from local factory+simulate to a
+one-shard campaign per probe via :meth:`ServiceClient.observer` and
+assert the recovered parameters are identical either way."""
+
+import pytest
+
+from repro.characterize.infer import characterize
+from repro.characterize.probes import chain_trace
+from repro.predictors import SimpleBTB
+from repro.predictors.base import simulate
+from repro.service.client import CampaignFailed, ServiceClient
+from repro.service.dispatcher import CampaignService
+from repro.service.http import ServiceServer
+from repro.telemetry.core import TELEMETRY
+from repro.telemetry.sinks import InMemoryAggregator
+
+
+@pytest.fixture(autouse=True)
+def sink():
+    aggregator = InMemoryAggregator()
+    TELEMETRY.enable(aggregator)
+    yield aggregator
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+@pytest.fixture()
+def served(tmp_path):
+    service = CampaignService(str(tmp_path), mode="inline")
+    server = ServiceServer(service, port=0).start()
+    try:
+        yield server, ServiceClient(server.address, timeout=30.0)
+    finally:
+        server.stop()
+
+
+def test_probe_stats_matches_direct_simulation(served):
+    _, client = served
+    trace = chain_trace(8, 1, 6)
+    direct = simulate(SimpleBTB(32, None), trace)
+    config = {"scheme": "SBTB", "entries": 32}
+    via_wire = client.probe_stats(config, trace)
+    assert via_wire.as_dict() == direct.as_dict()
+
+
+def test_characterize_through_the_service(served):
+    server, client = served
+    config = {"scheme": "SBTB", "entries": 16}
+    bounds = {"max_entries": 64, "max_history": 4,
+              "max_counter_bits": 3}
+    direct = characterize(lambda: SimpleBTB(16, None), **bounds)
+    via_wire = characterize(
+        observe=client.observer(config), label="SBTB-over-http",
+        **bounds)
+    assert via_wire.recovered == direct.recovered
+    assert via_wire.recovered["entries"] == 16
+    # Every probe really went over the wire as its own campaign.
+    submitted = TELEMETRY.counter_value("service.campaign.submitted")
+    assert submitted > 10
+    executed = TELEMETRY.counter_value("service.shard.executed")
+    assert executed > 0
+    # Identical probe traces resubmitted by the battery dedup into
+    # cached results instead of re-running.
+    assert executed <= submitted
+
+
+def test_probe_stats_raises_on_degraded_cell(served, monkeypatch):
+    server, client = served
+    import repro.service.dispatcher as dispatcher_module
+
+    def broken(spec, cache_dir=None):
+        raise RuntimeError("no results today")
+
+    monkeypatch.setattr(dispatcher_module, "execute_shard", broken)
+    server.service.retries = 0
+    with pytest.raises(CampaignFailed, match="no result"):
+        client.probe_stats({"scheme": "SBTB", "entries": 16},
+                           chain_trace(4, 1, 4))

@@ -1,0 +1,244 @@
+"""Tests for the campaign dispatcher: dedup, deadlines, recovery.
+
+Everything here runs the service in ``inline`` mode — shards execute
+in the calling thread, so scheduling decisions are deterministic and
+failure injection is a simple monkeypatch of ``execute_shard``.  The
+process-mode path is covered by the HTTP tests, the fault matrix
+(``shard-crash``), and ``scripts/chaos_gate.py``.
+"""
+
+import pytest
+
+import repro.service.dispatcher as dispatcher_module
+from repro.service.dispatcher import CampaignService
+from repro.service.errors import AdmissionError, UnknownCampaign
+from repro.telemetry.core import TELEMETRY
+from repro.telemetry.sinks import InMemoryAggregator
+
+
+@pytest.fixture(autouse=True)
+def sink():
+    aggregator = InMemoryAggregator()
+    TELEMETRY.enable(aggregator)
+    yield aggregator
+    TELEMETRY.disable()
+    TELEMETRY.reset()
+
+
+PAYLOAD = {
+    "kind": "probe",
+    "probes": [{"family": "chain", "m": 4, "stride": 1, "laps": 6},
+               {"family": "ladder", "k": 3, "periods": 4}],
+    "schemes": [{"scheme": "SBTB", "entries": 32},
+                {"scheme": "AlwaysTaken"}],
+}
+
+
+def make_service(tmp_path, **kwargs):
+    kwargs.setdefault("mode", "inline")
+    return CampaignService(str(tmp_path), **kwargs)
+
+
+def counter(name):
+    return TELEMETRY.counter_value(name)
+
+
+def test_submit_drain_done(tmp_path):
+    service = make_service(tmp_path)
+    status = service.submit(PAYLOAD)
+    assert status["total"] == 4
+    assert status["by_status"] == {"pending": 4}
+    assert service.drain(timeout=30.0)
+    tables = service.tables(status["id"])
+    assert tables["degraded"] is False
+    assert all(value is not None for row in tables["rows"]
+               for value in row[1:])
+    assert counter("service.shard.executed") == 4
+    assert counter("service.campaign.done") == 1
+    assert len(service.journal.executions()) == 4
+
+
+def test_resubmission_is_served_from_cache(tmp_path):
+    service = make_service(tmp_path)
+    first = service.submit(PAYLOAD)
+    assert service.drain(timeout=30.0)
+    second = service.submit(PAYLOAD)
+    # Every cell resolved at submission; nothing new was executed.
+    assert second["by_status"] == {"done": 4}
+    assert counter("service.dedup.cached") == 4
+    assert counter("service.shard.executed") == 4
+    assert len(service.journal.executions()) == 4
+    assert service.tables(second["id"])["rows"] == \
+        service.tables(first["id"])["rows"]
+
+
+def test_concurrent_campaigns_share_queued_shards(tmp_path):
+    service = make_service(tmp_path)
+    first = service.submit(PAYLOAD)
+    second = service.submit(PAYLOAD)     # same shards, still queued
+    assert counter("service.dedup.inflight") == 4
+    assert service.queue.depth == 4      # not 8
+    assert service.drain(timeout=30.0)
+    assert counter("service.shard.executed") == 4
+    for campaign_id in (first["id"], second["id"]):
+        assert service.status(campaign_id)["status"] == "done"
+
+
+def test_admission_rejection_registers_nothing(tmp_path):
+    service = make_service(tmp_path, queue_capacity=2)
+    with pytest.raises(AdmissionError) as excinfo:
+        service.submit(PAYLOAD)          # 4 shards > capacity 2
+    assert excinfo.value.retry_after_s > 0
+    assert service.campaigns == {}
+    assert service.queue.depth == 0
+    assert service.journal.load_campaigns() == []
+
+
+def test_deadline_zero_expires_without_executing(tmp_path):
+    service = make_service(tmp_path)
+    status = service.submit(dict(PAYLOAD, deadline_s=0))
+    service.step()
+    assert service.status(status["id"])["status"] == "expired"
+    assert counter("service.deadline.cancelled") == 4
+    assert counter("service.shard.executed") == 0
+    tables = service.tables(status["id"])
+    assert tables["degraded"] is True
+    assert {gap["reason"] for gap in tables["missing"]} == \
+        {"deadline-expired"}
+    # The queue was cleaned up; a later campaign is unaffected.
+    assert service.queue.depth == 0
+    later = service.submit(PAYLOAD)
+    assert service.drain(timeout=30.0)
+    assert service.status(later["id"])["status"] == "done"
+
+
+def test_transient_failure_is_retried(tmp_path, monkeypatch):
+    real = dispatcher_module.execute_shard
+    failures = {"left": 1}
+
+    def flaky(spec, cache_dir=None):
+        if failures["left"] > 0:
+            failures["left"] -= 1
+            raise RuntimeError("transient worker death")
+        return real(spec, cache_dir=cache_dir)
+
+    monkeypatch.setattr(dispatcher_module, "execute_shard", flaky)
+    service = make_service(tmp_path, retries=2, backoff=0.0)
+    status = service.submit(PAYLOAD)
+    assert service.drain(timeout=30.0)
+    assert service.status(status["id"])["status"] == "done"
+    assert counter("service.shard.retried") == 1
+    assert counter("service.shard.executed") == 4
+
+
+def test_exhausted_retries_fail_the_cell_only(tmp_path, monkeypatch):
+    real = dispatcher_module.execute_shard
+    # Sink exactly one shard key forever; the rest of the grid must
+    # still complete and the tables must degrade, not vanish.
+    poison = {}
+
+    def broken(spec, cache_dir=None):
+        key = spec.key
+        if not poison:
+            poison[key] = True
+        if key in poison:
+            raise RuntimeError("benchmark is cursed")
+        return real(spec, cache_dir=cache_dir)
+
+    monkeypatch.setattr(dispatcher_module, "execute_shard", broken)
+    service = make_service(tmp_path, retries=1, backoff=0.0,
+                           breaker_threshold=10)
+    status = service.submit(PAYLOAD)
+    assert service.drain(timeout=30.0)
+    assert service.status(status["id"])["status"] == "degraded"
+    assert counter("service.shard.failed") == 1
+    assert counter("service.shard.retried") == 1    # retries=1
+    tables = service.tables(status["id"])
+    assert tables["degraded"] is True
+    assert len(tables["missing"]) == 1
+    assert "cursed" in tables["missing"][0]["reason"]
+    assert counter("service.campaign.degraded") == 1
+
+
+def test_open_breaker_sheds_the_group(tmp_path, monkeypatch):
+    def always_broken(spec, cache_dir=None):
+        raise RuntimeError("scheme simulator is down")
+
+    monkeypatch.setattr(dispatcher_module, "execute_shard",
+                        always_broken)
+    # Single probe scheme -> one breaker group for the whole grid;
+    # threshold 1 trips on the first failure, shedding the rest.
+    payload = dict(PAYLOAD, schemes=[{"scheme": "SBTB",
+                                      "entries": 32}])
+    service = make_service(tmp_path, retries=0, backoff=0.0,
+                           breaker_threshold=1,
+                           breaker_cooldown=3600.0)
+    status = service.submit(payload)
+    assert service.drain(timeout=30.0)
+    assert counter("service.shard.failed") == 1
+    assert counter("service.breaker.shed") == 1
+    assert counter("service.breaker.tripped") == 1
+    tables = service.tables(status["id"])
+    reasons = {gap["reason"] for gap in tables["missing"]}
+    assert "breaker-open:probe:SBTB" in reasons
+    breaker_states = {breaker["state"] for breaker
+                      in service.stats()["breakers"]}
+    assert "open" in breaker_states
+
+
+def test_events_since_cursor(tmp_path):
+    service = make_service(tmp_path)
+    status = service.submit(PAYLOAD)
+    assert service.drain(timeout=30.0)
+    stream = service.events_since(status["id"], since=0)
+    assert stream["status"] == "done"
+    assert stream["next"] == 4
+    assert [event["seq"] for event in stream["events"]] == [0, 1, 2, 3]
+    tail = service.events_since(status["id"], since=3)
+    assert len(tail["events"]) == 1
+    with pytest.raises(UnknownCampaign):
+        service.events_since("nope")
+
+
+def test_restart_resumes_pending_shards(tmp_path):
+    first = make_service(tmp_path)
+    status = first.submit(PAYLOAD)
+    # No step(): the campaign is journalled but nothing has run.
+    assert counter("service.shard.executed") == 0
+    second = make_service(tmp_path)
+    assert second.queue.depth == 4      # recovery re-enqueued them
+    assert second.drain(timeout=30.0)
+    assert second.status(status["id"])["status"] == "done"
+    assert counter("service.shard.executed") == 4
+    assert len(second.journal.executions()) == 4
+    # Keys are unique in the log: nothing ran twice across instances.
+    keys = [entry["key"] for entry in second.journal.executions()]
+    assert len(keys) == len(set(keys))
+
+
+def test_restart_after_completion_resumes_results(tmp_path):
+    first = make_service(tmp_path)
+    status = first.submit(PAYLOAD)
+    assert first.drain(timeout=30.0)
+    done_tables = first.tables(status["id"])
+    second = make_service(tmp_path)
+    assert counter("service.shard.resumed") == 4
+    assert second.status(status["id"])["status"] == "done"
+    assert second.tables(status["id"])["rows"] == done_tables["rows"]
+    # Resumed results count as cache hits for new campaigns.
+    again = second.submit(PAYLOAD)
+    assert again["by_status"] == {"done": 4}
+    assert counter("service.shard.executed") == 4  # from instance one
+
+
+def test_stats_shape(tmp_path):
+    service = make_service(tmp_path, workers=3)
+    service.submit(PAYLOAD)
+    service.drain(timeout=30.0)
+    stats = service.stats()
+    assert stats["instance"] == service.instance_id
+    assert stats["workers"] == 3
+    assert stats["mode"] == "inline"
+    assert stats["queue"]["capacity"] == 64
+    assert stats["campaigns"] == {"done": 1}
+    assert stats["counters"]["service.shard.executed"] == 4
