@@ -18,13 +18,25 @@ marker expression — and enforces:
    would deselect nothing);
 4. no test id appears in the fast selection but not the full one
    (a collection discrepancy would mean the two runs disagree about
-   what the suite even is).
+   what the suite even is);
+5. every file in ``REQUIRED_BATTERY_FILES`` — the differential
+   equivalence batteries that lock down the vector/chunked engines —
+   contributes at least one slow-marked battery test (a renamed or
+   deleted battery must fail loudly here, not silently stop gating).
 
 Exit status: 0 clean, 1 on any violation, 2 on collection failure.
 """
 
 import subprocess
 import sys
+
+#: Test files that must each carry at least one slow-marked
+#: ``*_battery`` test: the engine-equivalence contract suites.
+REQUIRED_BATTERY_FILES = (
+    "tests/test_characterize.py",
+    "tests/test_cycle_kernel_equivalence.py",
+    "tests/test_chunked_properties.py",
+)
 
 
 def collect(extra_args):
@@ -71,6 +83,14 @@ def main():
     if phantom:
         problems.append("tests selected fast but not in the full "
                         "collection:\n  " + "\n  ".join(phantom))
+
+    slow_batteries = batteries - fast
+    for required in REQUIRED_BATTERY_FILES:
+        if not any(test.startswith(required + "::")
+                   for test in slow_batteries):
+            problems.append("%s contributes no slow-marked *_battery "
+                            "test - its equivalence battery was "
+                            "renamed, unmarked, or deleted" % required)
 
     slow_count = len(full - fast)
     if problems:

@@ -144,7 +144,7 @@ def engine_divergence(make_predictor, trace, ras_returns=True,
 
 
 def cycle_divergence(config, make_production, make_oracle, trace,
-                     ras_returns=True):
+                     ras_returns=True, engine=None):
     """Compare the production cycle simulator against the interpreter.
 
     Args:
@@ -152,6 +152,10 @@ def cycle_divergence(config, make_production, make_oracle, trace,
         make_production / make_oracle: zero-argument factories producing
             *fresh* predictor instances (each side must start cold).
         trace: the branch trace to replay.
+        engine: forwarded to :class:`CycleSimulator` — the conformance
+            harness pins ``"vector"`` to drive the batch cycle kernel
+            against the oracle interpreter on every seed, regardless of
+            the auto threshold.
 
     Returns the first aggregate :class:`Divergence` or None.
     """
@@ -159,7 +163,8 @@ def cycle_divergence(config, make_production, make_oracle, trace,
     from repro.pipeline.cycle_sim import CycleSimulator
 
     fast = CycleSimulator(config, make_production(),
-                          ras_returns=ras_returns).run(trace)
+                          ras_returns=ras_returns,
+                          engine=engine).run(trace)
     slow = OracleCycleInterpreter(config, make_oracle(),
                                   ras_returns=ras_returns).run(trace)
     for field in ("fill_cycles", "mispredictions", "squashed_cycles",

@@ -10,7 +10,10 @@ One call to :func:`run_conformance` drives, per seed:
    ``PredictionStats`` over the same trace;
 3. a cycle-level differential of the production
    :class:`~repro.pipeline.cycle_sim.CycleSimulator` against the
-   straight-line oracle interpreter, on two pipeline shapes;
+   straight-line oracle interpreter, on two pipeline shapes — twice
+   per shape, once on the default engine and once pinned to the
+   vector cycle kernel (fuzz traces sit under the auto threshold, so
+   the pin is what exercises :mod:`repro.kernels.cycle` here);
 
 and then, once, the golden-table layer (paper tolerance bands and the
 committed golden JSON).  Any divergence is shrunk to a minimal
@@ -95,6 +98,7 @@ class ConformanceReport:
         self.schemes = tuple(schemes)
         self.replays = 0
         self.cycle_checks = 0
+        self.vector_cycle_checks = 0
         self.engine_checks = 0
         self.probe_checks = 0
         self.findings = []
@@ -119,6 +123,8 @@ class ConformanceReport:
             lines.append("differential replay: zero divergences")
         lines.append("engine cross-check (scalar vs vector): "
                      "%d comparisons" % self.engine_checks)
+        lines.append("vector cycle-sim vs oracle interpreter: "
+                     "%d comparisons" % self.vector_cycle_checks)
         if self.probe_checks:
             lines.append("characterization probe battery: "
                          "%d scheme x probe replays" % self.probe_checks)
@@ -263,6 +269,19 @@ def run_conformance(seeds=200, first_seed=0, golden=True, cache=True,
                     if divergence is not None:
                         _note_divergence(report, "%s@%r" % (scheme, config),
                                          seed, divergence, None)
+                        continue
+                    # Same oracle, but the production side pinned to
+                    # the batch cycle kernel: fuzz traces sit under the
+                    # auto threshold, so without the pin the vector
+                    # cycle path would never face the interpreter.
+                    report.vector_cycle_checks += 1
+                    divergence = cycle_divergence(
+                        config, make_production, make_oracle, trace,
+                        engine="vector")
+                    if divergence is not None:
+                        _note_divergence(
+                            report, "%s@vector-cycle@%r" % (scheme, config),
+                            seed, divergence, None)
     if golden:
         with TELEMETRY.span("conformance.golden"):
             from repro.experiments.runner import SuiteRunner
@@ -289,5 +308,6 @@ def run_conformance(seeds=200, first_seed=0, golden=True, cache=True,
     TELEMETRY.event("conformance.result", ok=report.ok,
                     seeds=seeds, replays=report.replays,
                     cycle_checks=report.cycle_checks,
+                    vector_cycle_checks=report.vector_cycle_checks,
                     divergences=len(report.findings))
     return report

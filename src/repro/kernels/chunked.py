@@ -1,0 +1,772 @@
+"""Chunked multi-process execution of the vector engine.
+
+Splits an :class:`~repro.kernels.encode.EncodedTrace` into contiguous
+segments, runs each segment's kernel work in parallel, and stitches
+the boundaries *exactly*, so an N-chunk / N-worker run is bit-for-bit
+the single-chunk run.  The classic two-phase scan parallelization,
+lifted to whole predictors:
+
+* **Phase 1 (parallel)** — each chunk is summarized in closed form:
+  per-site tail state (last execution, last write), per-counter-index
+  clamped-add compositions (:func:`repro.kernels.scan
+  .segment_compositions`), and for gshare the head records whose table
+  index still depends on the incoming history register plus the packed
+  history tail.
+* **Fold (coordinator, serial but tiny)** — the summaries are folded
+  left to right, yielding each chunk's *entry carry*: the warm state a
+  scalar simulator would have reached at that boundary — per-site
+  presence/counter/target, the direction-table snapshot, the history
+  register.  This is the "re-run a short warm tail" of the boundary,
+  collapsed to closed form: composing the summaries replays exactly
+  the records that could matter, without touching the records again.
+* **Phase 2 (parallel)** — each chunk re-runs its records through the
+  ordinary kernels seeded with its carry (``exclusive_states(...,
+  inits=...)``), and reduces to a fixed-width tally vector; tallies
+  merge by addition, reproducing ``assemble_stats`` and the cycle
+  simulator's accounting bit-for-bit.
+
+Cache sets that overflow are the one global coupling the carries do
+not cover (LRU order mixes sites across chunk boundaries): the
+coordinator screens for them globally (the same exact screen the
+kernels use), excludes their records from every chunk tally, and runs
+them once through the blocked eviction kernel
+(:mod:`repro.kernels.evict`) — direction bits for those records come
+back from phase 2, since the gshare/bimodal direction machinery is
+tagless and therefore chunks cleanly even under store pressure.
+
+Process mode ships chunks through
+:func:`repro.resilience.supervisor.run_supervised` — the supervisor's
+timeout / retry / partial-failure machinery — with the trace shared as
+memory-mapped columnar storage (:func:`repro.kernels.encode
+.save_columns`), so workers fault in only their own pages.  Workers
+communicate results through ``.npz`` files in the scratch directory; a
+chunk whose worker fails permanently is recomputed inline, so the
+answer is always complete and identical.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.kernels import encode, evict, scan
+from repro.vm.tracing import BranchClass
+
+#: Tally vector layout: four scalars then three per-class blocks.
+_T_TOTAL, _T_CORRECT, _T_ACCESSES, _T_MISSES = range(4)
+_T_CLASS_TOTAL = 4      # 4 entries
+_T_CLASS_CORRECT = 8    # 4 entries
+_T_UNCOVERED = 12       # 4 entries
+_T_WIDTH = 16
+
+
+def plan_chunks(n, chunks):
+    """Contiguous ``[start, stop)`` bounds covering ``n`` records."""
+    chunks = max(1, min(int(chunks), max(int(n), 1)))
+    edges = np.linspace(0, n, chunks + 1).astype(np.int64)
+    return [(int(edges[i]), int(edges[i + 1]))
+            for i in range(chunks) if edges[i + 1] > edges[i]]
+
+
+def _family(predictor):
+    from repro.predictors.bimodal import Bimodal
+    from repro.predictors.cbtb import CounterBTB
+    from repro.predictors.sbtb import SimpleBTB
+    from repro.predictors.twolevel import GShare
+
+    if type(predictor) is SimpleBTB:
+        return "sbtb"
+    if type(predictor) is CounterBTB:
+        return "cbtb"
+    if type(predictor) is GShare:
+        return "gshare"
+    if type(predictor) is Bimodal:
+        return "bimodal"
+    from repro.kernels import supports
+    if supports(predictor):
+        return "static"
+    return None
+
+
+def supports_chunked(predictor):
+    """True when chunked execution can run ``predictor`` exactly."""
+    from repro.kernels import is_pristine
+
+    return _family(predictor) is not None and is_pristine(predictor)
+
+
+# -- phase 1: per-chunk closed-form summaries ----------------------------
+
+
+def _segment_layout(groups):
+    """(start_rows, end_rows) of each segment in sorted order."""
+    start_rows = np.nonzero(groups.starts)[0]
+    ends = np.empty(start_rows.shape[0], dtype=np.int64)
+    ends[:-1] = start_rows[1:] - 1
+    ends[-1] = groups.n - 1
+    return start_rows, ends
+
+
+def _last_marked_per_segment(groups, marked_original):
+    """Sorted-row index of each segment's last marked record, or -1."""
+    start_rows, _ = _segment_layout(groups)
+    rows = np.arange(groups.n, dtype=np.int64)
+    value = np.where(marked_original[groups.order], rows, -1)
+    return np.maximum.reduceat(value, start_rows)
+
+
+def _summarize(predictor, enc):
+    """Phase-1 closed-form summary of one chunk (dict of arrays)."""
+    family = _family(predictor)
+    if family == "static":
+        return {}
+    groups = enc.site_groups()
+    start_rows, ends = _segment_layout(groups)
+    sites_u = enc.sites[groups.order[start_rows]]
+    summary = {"sites": sites_u}
+
+    if family == "sbtb":
+        last_rows = groups.order[ends]
+        summary["last_taken"] = enc.takens[last_rows].astype(np.int8)
+        summary["last_target"] = enc.targets[last_rows]
+        return summary
+
+    if family == "cbtb":
+        n = len(enc)
+        counter_max = predictor.counter_max
+        threshold = predictor.threshold
+        first_rows = groups.order[start_rows]
+        delta = np.where(enc.takens, np.int32(1), np.int32(-1))
+        low = np.zeros(n, dtype=np.int32)
+        high = np.full(n, counter_max, dtype=np.int32)
+        # Neutralize each site's chunk-first transition: the rest
+        # composes once, then both "globally first" (allocation) and
+        # "seen before" (saturating step) variants graft on in O(sites).
+        ident = scan.identity()
+        delta[first_rows], low[first_rows], high[first_rows] = ident
+        comp_rest = scan.segment_compositions(groups, delta, low, high)
+        tk_first = enc.takens[first_rows]
+        step = (np.where(tk_first, np.int32(1), np.int32(-1)),
+                np.zeros(len(sites_u), dtype=np.int32),
+                np.full(len(sites_u), counter_max, dtype=np.int32))
+        alloc_value = np.where(tk_first, np.int32(threshold),
+                               np.int32(threshold - 1))
+        alloc = (np.zeros(len(sites_u), dtype=np.int32), alloc_value,
+                 alloc_value)
+        for prefix, comp in (("seen", scan.compose(step, comp_rest)),
+                             ("new", scan.compose(alloc, comp_rest))):
+            summary["%s_d" % prefix] = comp[0]
+            summary["%s_lo" % prefix] = comp[1]
+            summary["%s_hi" % prefix] = comp[2]
+        # Last write per site, again in both variants: an allocation
+        # writes, so the "new" variant always has one.
+        last_w_seen = _last_marked_per_segment(groups, enc.takens)
+        wrote_new = enc.takens.copy()
+        wrote_new[first_rows] = True
+        last_w_new = _last_marked_per_segment(groups, wrote_new)
+        summary["seen_has_write"] = (last_w_seen >= 0).astype(np.int8)
+        summary["seen_target"] = np.where(
+            last_w_seen >= 0,
+            enc.targets[groups.order[np.maximum(last_w_seen, 0)]], 0)
+        summary["new_target"] = enc.targets[groups.order[last_w_new]]
+        return summary
+
+    # gshare / bimodal: target store tail + direction-table summaries.
+    last_taken = _last_marked_per_segment(groups, enc.takens)
+    summary["has_taken"] = (last_taken >= 0).astype(np.int8)
+    summary["taken_target"] = np.where(
+        last_taken >= 0,
+        enc.targets[groups.order[np.maximum(last_taken, 0)]], 0)
+
+    conditional = enc.classes == BranchClass.CONDITIONAL
+    cond_sites = enc.sites[conditional]
+    cond_takens = enc.takens[conditional]
+    count = cond_sites.shape[0]
+    bits = predictor.history_bits if family == "gshare" else 0
+    head = min(bits, count)
+    summary["cond_count"] = np.int64(count)
+    summary["head_sites"] = cond_sites[:head]
+    summary["head_takens"] = cond_takens[:head].astype(np.int8)
+    # Body records' table indices need only in-chunk history.
+    history = np.zeros(count, dtype=np.int64)
+    outcomes = cond_takens.astype(np.int64)
+    for bit in range(min(bits, max(count - 1, 0))):
+        history[bit + 1:] += outcomes[:count - (bit + 1)] << bit
+    index = ((cond_sites[head:] ^ history[head:])
+             & predictor.table_mask)
+    index_groups = scan.Groups(index)
+    body = count - head
+    comps = scan.segment_compositions(
+        index_groups,
+        np.where(cond_takens[head:], np.int32(1), np.int32(-1)),
+        np.zeros(body, dtype=np.int32),
+        np.full(body, 3, dtype=np.int32))
+    body_starts = np.nonzero(index_groups.starts)[0]
+    summary["index"] = index[index_groups.order[body_starts]]
+    summary["index_d"], summary["index_lo"], summary["index_hi"] = comps
+    tail = min(bits, count)
+    tail_outcomes = cond_takens[count - tail:][::-1].astype(np.int64)
+    summary["tail_bits"] = np.int64(
+        int((tail_outcomes << np.arange(tail)).sum()) if tail else 0)
+    return summary
+
+
+# -- fold: summaries -> per-chunk entry carries --------------------------
+
+
+def _fold(predictor, summaries):
+    """Fold phase-1 summaries left to right; per-chunk entry carries.
+
+    The carry for chunk ``j`` is the boundary state after chunks
+    ``0..j-1``: exactly what re-running the warm tail would leave
+    behind, spliced from the closed-form summaries instead.
+    """
+    family = _family(predictor)
+    if family == "static":
+        return [{} for _ in summaries]
+    carries = []
+    state = {}      # site -> family-specific tuple
+    if family in ("gshare", "bimodal"):
+        table = np.full(predictor.table_mask + 1, 1, dtype=np.int32)
+        bits = predictor.history_bits if family == "gshare" else 0
+        hmask = (1 << bits) - 1
+        history = 0
+    for summary in summaries:
+        sites = summary["sites"]
+        carry = {}
+        if family == "sbtb":
+            entries = [state.get(site, (0, 0)) for site in
+                       sites.tolist()]
+            carry["enter_present"] = np.array(
+                [taken for taken, _ in entries], dtype=np.int8)
+            carry["enter_stored"] = np.array(
+                [target for _, target in entries], dtype=np.int64)
+            for position, site in enumerate(sites.tolist()):
+                state[site] = (int(summary["last_taken"][position]),
+                               int(summary["last_target"][position]))
+        elif family == "cbtb":
+            present = np.array([site in state for site in
+                                sites.tolist()], dtype=bool)
+            entries = [state.get(site, (0, 0)) for site in
+                       sites.tolist()]
+            carry["enter_present"] = present.astype(np.int8)
+            carry["enter_counter"] = np.array(
+                [counter for counter, _ in entries], dtype=np.int32)
+            carry["enter_stored"] = np.array(
+                [target for _, target in entries], dtype=np.int64)
+            for position, site in enumerate(sites.tolist()):
+                if present[position]:
+                    counter, stored = state[site]
+                    prefix = "seen"
+                    if not summary["seen_has_write"][position]:
+                        target = stored
+                    else:
+                        target = int(summary["seen_target"][position])
+                else:
+                    counter, prefix = 0, "new"
+                    target = int(summary["new_target"][position])
+                counter = int(min(max(
+                    counter + summary["%s_d" % prefix][position],
+                    summary["%s_lo" % prefix][position]),
+                    summary["%s_hi" % prefix][position]))
+                state[site] = (counter, target)
+        else:
+            entries = [state.get(site) for site in sites.tolist()]
+            carry["enter_present"] = np.array(
+                [entry is not None for entry in entries], dtype=np.int8)
+            carry["enter_stored"] = np.array(
+                [entry if entry is not None else 0
+                 for entry in entries], dtype=np.int64)
+            for position, site in enumerate(sites.tolist()):
+                if summary["has_taken"][position]:
+                    state[site] = int(summary["taken_target"][position])
+            # Direction table: snapshot first, then advance — head
+            # records sequentially (their indices need the incoming
+            # history register), the body via its compositions.
+            carry["enter_table"] = table.copy()
+            carry["enter_history"] = np.int64(history)
+            running = history
+            for site, taken in zip(summary["head_sites"].tolist(),
+                                   summary["head_takens"].tolist()):
+                slot = (site ^ running) & predictor.table_mask
+                step = 1 if taken else -1
+                table[slot] = min(max(table[slot] + step, 0), 3)
+                running = ((running << 1) | taken) & hmask
+            index = summary["index"]
+            table[index] = scan.apply_state(
+                table[index], (summary["index_d"],
+                               summary["index_lo"],
+                               summary["index_hi"]))
+            count = int(summary["cond_count"])
+            tail_bits = int(summary["tail_bits"])
+            if count >= bits:
+                history = tail_bits
+            else:
+                history = ((history << count) | tail_bits) & hmask
+        carries.append(carry)
+    return carries
+
+
+# -- phase 2: carry-seeded scoring ---------------------------------------
+
+
+def _score(predictor, enc, carry):
+    """Per-record ``(pred_taken, target_match, hit, direction)``.
+
+    ``direction`` is None except for the direction schemes, where the
+    coordinator needs it to replay overflowing store sets.
+    """
+    family = _family(predictor)
+    if family == "static":
+        from repro.kernels import kernel_for
+
+        pred_taken, target_match, hit = kernel_for(predictor)(
+            predictor, enc)
+        return pred_taken, target_match, hit, None
+
+    n = len(enc)
+    groups = enc.site_groups()
+    sites_u, inverse = enc.unique_sites()
+    prev = scan.previous_index(groups)
+    first = prev < 0
+    safe_prev = np.maximum(prev, 0)
+
+    if family == "sbtb":
+        enter_present = carry["enter_present"].astype(bool)[inverse]
+        present = np.where(first, enter_present,
+                           enc.takens[safe_prev] & ~first)
+        stored = np.where(first, carry["enter_stored"][inverse],
+                          enc.targets[safe_prev])
+        target_match = present & (stored == enc.targets)
+        return present, target_match, present.astype(np.int8), None
+
+    if family == "cbtb":
+        enter_present = carry["enter_present"].astype(bool)[inverse]
+        present = ~first | enter_present
+        global_first = first & ~enter_present
+        delta = np.where(enc.takens, np.int32(1), np.int32(-1))
+        low = np.zeros(n, dtype=np.int32)
+        high = np.full(n, predictor.counter_max, dtype=np.int32)
+        allocated = np.where(enc.takens, np.int32(predictor.threshold),
+                             np.int32(predictor.threshold - 1))
+        delta[global_first] = 0
+        low[global_first] = allocated[global_first]
+        high[global_first] = allocated[global_first]
+        counter = scan.exclusive_states(
+            groups, delta, low, high, 0,
+            inits=carry["enter_counter"][inverse])
+        wrote = enc.takens | global_first
+        last_write = scan.last_marked_index(groups, wrote)
+        stored = np.where(
+            last_write >= 0,
+            enc.targets[np.maximum(last_write, 0)],
+            np.where(enter_present, carry["enter_stored"][inverse], 0))
+        pred_taken = present & (counter >= predictor.threshold)
+        target_match = pred_taken & (stored == enc.targets)
+        return (pred_taken, target_match, present.astype(np.int8),
+                None)
+
+    # gshare / bimodal: direction from the carried table snapshot,
+    # presence/targets from the carried store tail.
+    conditional = enc.classes == BranchClass.CONDITIONAL
+    cond_sites = enc.sites[conditional]
+    cond_takens = enc.takens[conditional]
+    count = cond_sites.shape[0]
+    bits = predictor.history_bits if family == "gshare" else 0
+    history = np.zeros(count, dtype=np.int64)
+    outcomes = cond_takens.astype(np.int64)
+    for bit in range(min(bits, max(count - 1, 0))):
+        history[bit + 1:] += outcomes[:count - (bit + 1)] << bit
+    head = min(bits, count)
+    if head:
+        entry_history = int(carry["enter_history"])
+        hmask = (1 << bits) - 1
+        positions = np.arange(head, dtype=np.int64)
+        history[:head] |= (entry_history << positions) & hmask
+    index = (cond_sites ^ history) & predictor.table_mask
+    counter = scan.exclusive_states(
+        scan.Groups(index),
+        np.where(cond_takens, np.int32(1), np.int32(-1)),
+        np.zeros(count, dtype=np.int32),
+        np.full(count, 3, dtype=np.int32),
+        1, inits=carry["enter_table"][index])
+    direction = np.ones(n, dtype=bool)
+    direction[conditional] = counter >= 2
+
+    last_taken = scan.last_marked_index(groups, enc.takens)
+    enter_present = carry["enter_present"].astype(bool)[inverse]
+    present = (last_taken >= 0) | enter_present
+    stored = np.where(last_taken >= 0,
+                      enc.targets[np.maximum(last_taken, 0)],
+                      np.where(enter_present,
+                               carry["enter_stored"][inverse], 0))
+    pred_taken = present & direction
+    target_match = pred_taken & (stored == enc.targets)
+    return pred_taken, target_match, present.astype(np.int8), direction
+
+
+def _tally(enc, triple, include):
+    """Reduce per-record outcomes to the additive tally vector."""
+    pred_taken, target_match, hit = triple
+    correct = np.where(enc.takens, pred_taken & target_match,
+                       ~pred_taken)
+    classes = enc.classes.astype(np.int64)
+    out = np.zeros(_T_WIDTH, dtype=np.int64)
+    out[_T_TOTAL] = np.count_nonzero(include)
+    out[_T_CORRECT] = np.count_nonzero(correct & include)
+    out[_T_ACCESSES] = np.count_nonzero((hit >= 0) & include)
+    out[_T_MISSES] = np.count_nonzero((hit == 0) & include)
+    out[_T_CLASS_TOTAL:_T_CLASS_TOTAL + 4] = np.bincount(
+        classes[include], minlength=4)
+    out[_T_CLASS_CORRECT:_T_CLASS_CORRECT + 4] = np.bincount(
+        classes[correct & include], minlength=4)
+    out[_T_UNCOVERED:_T_UNCOVERED + 4] = np.bincount(
+        classes[~correct & include], minlength=4)
+    return out
+
+
+def _score_chunk(predictor, enc, carry, hot_sets, chunk_start):
+    """Phase-2 chunk work: tally + overflow-row direction bits."""
+    pred_taken, target_match, hit, direction = _score(predictor, enc,
+                                                      carry)
+    include = np.ones(len(enc), dtype=bool)
+    if hot_sets is not None and hot_sets.shape[0]:
+        n_sets = _store_cache(predictor).n_sets
+        excluded = np.isin(enc.sites % n_sets, hot_sets)
+        include &= ~excluded
+    else:
+        excluded = np.zeros(len(enc), dtype=bool)
+    result = {"tally": _tally(enc, (pred_taken, target_match, hit),
+                              include)}
+    rows = np.nonzero(excluded)[0]
+    result["over_rows"] = rows + chunk_start
+    if direction is not None:
+        result["over_direction"] = direction[rows].astype(np.int8)
+    return result
+
+
+def _store_cache(predictor):
+    """The predictor's target-store AssociativeCache."""
+    cache = getattr(predictor, "_cache", None)
+    if cache is None:
+        cache = getattr(predictor, "_targets", None)
+    return cache
+
+
+# -- coordinator: screens and the global eviction replay -----------------
+
+
+def _overflow_mask(predictor, enc):
+    """Global overflow-row mask over ``enc`` (None when no eviction).
+
+    The same exact per-family occupancy screens the kernels apply,
+    evaluated once on the coordinator: eviction entangles sets across
+    chunk boundaries, so their records bypass the chunk tallies and
+    replay once through :mod:`repro.kernels.evict`.
+    """
+    family = _family(predictor)
+    if family == "static" or len(enc) == 0:
+        return None
+    cache = _store_cache(predictor)
+    set_ids = enc.sites % cache.n_sets
+    groups = enc.site_groups()
+    prev = scan.previous_index(groups)
+    has_prev = prev >= 0
+    if family == "sbtb":
+        present = np.zeros(len(enc), dtype=bool)
+        present[has_prev] = enc.takens[prev[has_prev]]
+        delta = np.zeros(len(enc), dtype=np.int64)
+        delta[enc.takens & ~present] = 1
+        delta[~enc.takens & present] = -1
+    elif family == "cbtb":
+        delta = ~has_prev
+    else:
+        present = scan.last_marked_index(groups, enc.takens) >= 0
+        delta = enc.takens & ~present
+    occupancy = scan.running_total(enc.set_groups(cache.n_sets), delta)
+    return evict.overflow_rows(set_ids, occupancy,
+                               cache.associativity)
+
+
+def _evict_tally(predictor, enc, rows, refreshes):
+    """Replay overflow rows through the eviction kernel and tally."""
+    family = _family(predictor)
+    cache = _store_cache(predictor)
+    n = len(enc)
+    set_ids = enc.sites % cache.n_sets
+    present = np.zeros(n, dtype=bool)
+    stored = np.zeros(n, dtype=np.int64)
+    if family == "sbtb":
+        evict.sbtb_evict(rows, set_ids, enc.sites, enc.takens,
+                         enc.targets, cache.associativity, present,
+                         stored)
+        pred_taken = present
+    elif family == "cbtb":
+        pred_taken = np.zeros(n, dtype=bool)
+        evict.cbtb_evict(rows, set_ids, enc.sites, enc.takens,
+                         enc.targets, cache.associativity,
+                         predictor.threshold, predictor.counter_max,
+                         present, pred_taken, stored)
+    else:
+        evict.store_evict(rows, set_ids, enc.sites, enc.takens,
+                          enc.targets, refreshes, cache.associativity,
+                          present, stored)
+        # The refresh mask doubles as the direction array: for
+        # conditionals the refresh bit *is* the predicted direction,
+        # and for everything else both are True by convention.
+        pred_taken = present & refreshes
+    target_match = pred_taken & (stored == enc.targets)
+    include = np.zeros(n, dtype=bool)
+    include[rows] = True
+    return _tally(enc, (pred_taken, target_match,
+                        present.astype(np.int8)), include)
+
+
+# -- execution modes -----------------------------------------------------
+
+
+def _phase1_task(payload):
+    enc = encode.load_columns(payload["store"], payload["start"],
+                              payload["stop"])
+    summary = _summarize(payload["predictor"], enc)
+    np.savez(payload["out"], **summary)
+
+
+def _phase2_task(payload):
+    enc = encode.load_columns(payload["store"], payload["start"],
+                              payload["stop"])
+    with np.load(payload["carry"]) as carry_file:
+        carry = {key: carry_file[key] for key in carry_file.files}
+    hot = carry.pop("hot_sets", None)
+    result = _score_chunk(payload["predictor"], enc, carry, hot,
+                          payload["start"])
+    np.savez(payload["out"], **result)
+
+
+def _load_npz(path):
+    with np.load(path) as data:
+        return {key: data[key] for key in data.files}
+
+
+def _run_supervised_phase(tag, payloads, task, workers, supervise):
+    """Run one phase under the supervisor; inline-recompute failures."""
+    from repro.resilience.supervisor import run_supervised
+
+    tasks = [("%s-%d" % (tag, position), payload)
+             for position, payload in enumerate(payloads)]
+    run_supervised(tasks, task, workers=workers, **supervise)
+    results = []
+    for payload in payloads:
+        out = Path(str(payload["out"]) if str(payload["out"]).endswith(
+            ".npz") else str(payload["out"]) + ".npz")
+        if out.exists():
+            results.append(_load_npz(out))
+        else:
+            # Permanent worker failure: graceful degradation, the
+            # chunk recomputes in-process so the run still completes.
+            task(payload)
+            results.append(_load_npz(out))
+    return results
+
+
+def chunked_tallies(predictor, sub, *, chunks=4, workers=None,
+                    process=False, scratch=None, supervise=None,
+                    bounds=None):
+    """Merged tally vector for ``sub`` (an already-filtered encoding).
+
+    Returns the additive tally of every record in ``sub``, computed in
+    ``chunks`` segments, in-process (``process=False``) or on
+    supervised worker processes.  ``bounds`` overrides the even split
+    with explicit ``[start, stop)`` pairs — the property tests feed
+    adversarial segmentations (single-record chunks, cuts inside
+    branch bursts) through it.  The pairs are interpreted over the
+    filtered record subsequence, clamped to it, and empty chunks are
+    dropped (a caller tiling the unfiltered trace stays valid).
+    """
+    if not supports_chunked(predictor):
+        raise ValueError("chunked execution unsupported for %r"
+                         % type(predictor).__name__)
+    n = len(sub)
+    if n == 0:
+        return np.zeros(_T_WIDTH, dtype=np.int64)
+    if bounds is None:
+        bounds = plan_chunks(n, chunks)
+    else:
+        bounds = [(max(int(start), 0), min(int(stop), n))
+                  for start, stop in bounds]
+        bounds = [(start, stop) for start, stop in bounds
+                  if stop > start]
+    if workers is None:
+        workers = len(bounds)
+    supervise = dict(supervise or {})
+    supervise.setdefault("timeout", 120)
+
+    mask = _overflow_mask(predictor, sub)
+    cache = _store_cache(predictor)
+    if mask is None:
+        hot_sets = np.zeros(0, dtype=np.int64)
+    else:
+        set_ids = sub.sites % cache.n_sets
+        hot_sets = np.unique(set_ids[np.nonzero(mask)[0]])
+
+    if process:
+        base = Path(scratch) if scratch is not None else Path(
+            tempfile.mkdtemp(prefix="repro-chunked-"))
+        base.mkdir(parents=True, exist_ok=True)
+        store = encode.save_columns(sub, base / "trace")
+        payloads = [
+            {"store": str(store), "start": start, "stop": stop,
+             "predictor": predictor,
+             "out": str(base / ("p1_%d" % position))}
+            for position, (start, stop) in enumerate(bounds)]
+        summaries = _run_supervised_phase("chunk-p1", payloads,
+                                          _phase1_task, workers,
+                                          supervise)
+        carries = _fold(predictor, summaries)
+        payloads2 = []
+        for position, (start, stop) in enumerate(bounds):
+            carry_path = base / ("carry_%d.npz" % position)
+            np.savez(carry_path, hot_sets=hot_sets,
+                     **carries[position])
+            payloads2.append(
+                {"store": str(store), "start": start, "stop": stop,
+                 "predictor": predictor, "carry": str(carry_path),
+                 "out": str(base / ("p2_%d" % position))})
+        results = _run_supervised_phase("chunk-p2", payloads2,
+                                        _phase2_task, workers,
+                                        supervise)
+    else:
+        pieces = [sub.select(slice(start, stop))
+                  for start, stop in bounds]
+        summaries = [_summarize(predictor, piece) for piece in pieces]
+        carries = _fold(predictor, summaries)
+        results = [
+            _score_chunk(predictor, piece, carries[position], hot_sets,
+                         bounds[position][0])
+            for position, piece in enumerate(pieces)]
+
+    tally = np.zeros(_T_WIDTH, dtype=np.int64)
+    for result in results:
+        tally += result["tally"]
+
+    if mask is not None:
+        rows = np.concatenate([result["over_rows"]
+                               for result in results])
+        order = np.argsort(rows, kind="stable")
+        rows = rows[order]
+        refreshes = None
+        if _family(predictor) in ("gshare", "bimodal"):
+            direction_bits = np.concatenate(
+                [result["over_direction"] for result in results]
+            )[order].astype(bool)
+            conditional = sub.classes == BranchClass.CONDITIONAL
+            refreshes = np.ones(n, dtype=bool)
+            refreshes[rows] = ~conditional[rows] | direction_bits
+        tally += _evict_tally(predictor, sub, rows, refreshes)
+
+    from repro.telemetry.core import TELEMETRY
+    if TELEMETRY.enabled:
+        TELEMETRY.count("chunked.runs")
+        TELEMETRY.count("chunked.chunks", len(bounds))
+        TELEMETRY.event("chunked.run", predictor=predictor.name,
+                        records=n, chunks=len(bounds), workers=workers,
+                        mode="process" if process else "inline",
+                        overflow_rows=0 if mask is None
+                        else int(np.count_nonzero(mask)))
+    return tally
+
+
+# -- public results ------------------------------------------------------
+
+
+def chunked_stats(predictor, trace, *, chunks=4, workers=None,
+                  process=False, conditional_only=False,
+                  ras_returns=True, scratch=None, supervise=None,
+                  bounds=None):
+    """``PredictionStats`` for ``trace``, computed in chunks.
+
+    Bit-identical to ``simulate(predictor, trace)`` for every
+    supported (pristine, kernel-backed) predictor, for every chunk
+    count and worker count.
+    """
+    from repro.predictors.base import PredictionStats
+
+    enc = encode.EncodedTrace.of(trace)
+    returns_credited = 0
+    if conditional_only:
+        sub = enc.subset("conditional",
+                         enc.classes == BranchClass.CONDITIONAL)
+    elif ras_returns:
+        is_return = enc.classes == BranchClass.RETURN
+        returns_credited = int(np.count_nonzero(is_return))
+        sub = (enc.subset("no-returns", ~is_return)
+               if returns_credited else enc)
+    else:
+        sub = enc
+
+    tally = chunked_tallies(predictor, sub, chunks=chunks,
+                            workers=workers, process=process,
+                            scratch=scratch, supervise=supervise,
+                            bounds=bounds)
+    stats = PredictionStats()
+    stats.total = int(tally[_T_TOTAL])
+    stats.correct = int(tally[_T_CORRECT])
+    stats.buffer_accesses = int(tally[_T_ACCESSES])
+    stats.buffer_misses = int(tally[_T_MISSES])
+    for branch_class in range(4):
+        total = int(tally[_T_CLASS_TOTAL + branch_class])
+        correct = int(tally[_T_CLASS_CORRECT + branch_class])
+        if total:
+            stats.by_class_total[branch_class] = total
+        if correct:
+            stats.by_class_correct[branch_class] = correct
+    if returns_credited:
+        stats.total += returns_credited
+        stats.correct += returns_credited
+        stats.by_class_total[BranchClass.RETURN] = (
+            stats.by_class_total.get(BranchClass.RETURN, 0)
+            + returns_credited)
+        stats.by_class_correct[BranchClass.RETURN] = (
+            stats.by_class_correct.get(BranchClass.RETURN, 0)
+            + returns_credited)
+    return stats
+
+
+def chunked_cycle_stats(config, predictor, trace, *, chunks=4,
+                        workers=None, process=False, ras_returns=True,
+                        scratch=None, supervise=None, bounds=None):
+    """``CycleStats`` for ``trace``, computed in chunks.
+
+    Bit-identical to ``CycleSimulator(config, predictor,
+    ras_returns).run(trace)`` for every supported predictor.
+    """
+    from repro.pipeline.cycle_sim import CycleStats
+
+    enc = encode.EncodedTrace.of(trace)
+    sub = enc
+    if ras_returns:
+        is_return = enc.classes == BranchClass.RETURN
+        if is_return.any():
+            sub = enc.subset("no-returns", ~is_return)
+
+    tally = chunked_tallies(predictor, sub, chunks=chunks,
+                            workers=workers, process=process,
+                            scratch=scratch, supervise=supervise,
+                            bounds=bounds)
+    conditional_penalty = config.k + config.l + config.m
+    unconditional_penalty = config.k + config.l
+    squashed_by_class = {}
+    for code in range(4):
+        count = int(tally[_T_UNCOVERED + code])
+        if count:
+            penalty = (conditional_penalty
+                       if code == BranchClass.CONDITIONAL
+                       else unconditional_penalty)
+            squashed_by_class[code] = count * penalty
+    squashed = sum(squashed_by_class.values())
+    mispredictions = int(tally[_T_UNCOVERED:_T_UNCOVERED + 4].sum())
+    fill = config.depth - 1
+    instructions = trace.total_instructions
+    return CycleStats(fill + instructions + squashed, instructions,
+                      len(enc), squashed, mispredictions, fill,
+                      squashed_by_class)

@@ -13,10 +13,10 @@ Both schemes split cleanly into two independent machines:
   Taken executions insert, nothing deletes, so while a set has not
   evicted, presence is "some earlier taken execution" and the stored
   target is the latest such execution's.  The eviction screen and the
-  per-set scalar replay mirror :mod:`repro.kernels.tables`; the
-  replay needs one extra input, the direction bit, because only
-  predicted-taken conditionals touch (and therefore refresh) the
-  store on the predict path.
+  blocked replay (:mod:`repro.kernels.evict`) mirror
+  :mod:`repro.kernels.tables`; the replay needs one extra input, the
+  direction bit, because only predicted-taken conditionals touch (and
+  therefore refresh) the store on the predict path.
 
 Hit/miss accounting collapses nicely: in every predict case the hit
 flag equals target-store presence (a confirmed lookup, a
@@ -25,7 +25,7 @@ predicted-taken lookup miss, or the not-taken path's ``contains``).
 
 import numpy as np
 
-from repro.kernels import scan
+from repro.kernels import evict, scan
 from repro.vm.tracing import BranchClass
 
 
@@ -96,46 +96,13 @@ def _with_target_store(cache, enc, conditional, direction):
     allocates = takens & ~present
     occupancy = scan.running_total(enc.set_groups(cache.n_sets),
                                    allocates)
-    overflowed = occupancy > cache.associativity
-    if overflowed.any():
+    mask = evict.overflow_rows(set_ids, occupancy, cache.associativity)
+    if mask is not None:
         refreshes = ~conditional | direction
-        for set_id in np.unique(set_ids[overflowed]):
-            rows = np.nonzero(set_ids == set_id)[0]
-            _store_replay(rows, sites, takens, targets, refreshes,
-                          cache.associativity, present, stored)
+        evict.store_evict(np.nonzero(mask)[0], set_ids, sites, takens,
+                          targets, refreshes, cache.associativity,
+                          present, stored)
 
     pred_taken = present & direction
     target_match = pred_taken & (stored == targets)
     return pred_taken, target_match, present.astype(np.int8)
-
-
-def _store_replay(rows, sites, takens, targets, refreshes, ways,
-                  present, stored):
-    """Exact scalar replay of one overflowing target-store set.
-
-    The predict path refreshes recency only when it performs a lookup
-    — always for non-conditionals, and for conditionals only when the
-    direction predictor said taken (the not-taken path uses the
-    order-preserving ``contains``).  The update path inserts on taken.
-    """
-    buffer = {}
-    for row, site, taken, target, refresh in zip(
-            rows.tolist(), sites[rows].tolist(), takens[rows].tolist(),
-            targets[rows].tolist(), refreshes[rows].tolist()):
-        value = buffer.get(site)
-        if value is not None:
-            if refresh:
-                del buffer[site]
-                buffer[site] = value
-            present[row] = True
-            stored[row] = value
-        else:
-            present[row] = False
-        if taken:
-            if value is not None:
-                del buffer[site]       # insert refreshes an old key too
-                buffer[site] = target
-            else:
-                if len(buffer) >= ways:
-                    buffer.pop(next(iter(buffer)))
-                buffer[site] = target

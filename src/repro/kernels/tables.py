@@ -18,12 +18,13 @@ no-eviction occupancy trajectory coincides with the real one up to the
 first eviction, and that first eviction is precisely the first record
 where the trajectory would exceed the set's way count.  Sets that
 never cross the line keep the closed-form answers; sets that do are
-re-simulated by a tight per-set scalar replay (dict-as-LRU, identical
-to the AssociativeCache recency contract).  The paper's configuration
-— 256 entries, fully associative, against benchmarks with at most a
-couple hundred static branch sites — never overflows, so the replay
-path is exercised by the small-buffer ablations and the equivalence
-tests, not the headline workload.
+re-simulated together by the blocked LRU replay in
+:mod:`repro.kernels.evict` — vectorized across all overflowing sets,
+bit-identical to the AssociativeCache recency contract.  The paper's
+configuration — 256 entries, fully associative, against benchmarks
+with at most a couple hundred static branch sites — never overflows,
+so the eviction path is exercised by the small-buffer ablations and
+the equivalence tests, not the headline workload.
 
 Each kernel returns ``(pred_taken, target_match, hit)`` arrays over
 the encoded records; scoring and aggregation live in
@@ -32,7 +33,7 @@ the encoded records; scoring and aggregation live in
 
 import numpy as np
 
-from repro.kernels import scan
+from repro.kernels import evict, scan
 
 
 def sbtb_kernel(predictor, enc):
@@ -55,44 +56,13 @@ def sbtb_kernel(predictor, enc):
     delta[takens & ~present] = 1
     delta[~takens & present] = -1
     occupancy = scan.running_total(enc.set_groups(cache.n_sets), delta)
-    overflowed = occupancy > cache.associativity
-    if overflowed.any():
-        for set_id in np.unique(set_ids[overflowed]):
-            rows = np.nonzero(set_ids == set_id)[0]
-            _sbtb_replay(rows, sites, takens, targets,
-                         cache.associativity, present, stored)
+    mask = evict.overflow_rows(set_ids, occupancy, cache.associativity)
+    if mask is not None:
+        evict.sbtb_evict(np.nonzero(mask)[0], set_ids, sites, takens,
+                         targets, cache.associativity, present, stored)
 
     target_match = present & (stored == targets)
     return present, target_match, present.astype(np.int8)
-
-
-def _sbtb_replay(rows, sites, takens, targets, ways, present, stored):
-    """Exact scalar replay of one overflowing SBTB set.
-
-    A plain dict in insertion order is the set's OrderedDict: lookup
-    hits re-insert at the MRU end, eviction pops the first key.
-    """
-    buffer = {}
-    for row, site, taken, target in zip(
-            rows.tolist(), sites[rows].tolist(), takens[rows].tolist(),
-            targets[rows].tolist()):
-        value = buffer.get(site)
-        if value is not None:
-            del buffer[site]       # the predict-path lookup refresh
-            buffer[site] = value
-            present[row] = True
-            stored[row] = value
-        else:
-            present[row] = False
-        if taken:
-            if value is not None:
-                buffer[site] = target   # replace keeps recency
-            else:
-                if len(buffer) >= ways:
-                    buffer.pop(next(iter(buffer)))
-                buffer[site] = target
-        elif value is not None:
-            del buffer[site]
 
 
 def cbtb_kernel(predictor, enc):
@@ -136,44 +106,11 @@ def cbtb_kernel(predictor, enc):
     set_ids = sites % cache.n_sets
     occupancy = scan.running_total(enc.set_groups(cache.n_sets),
                                    is_first)
-    overflowed = occupancy > cache.associativity
-    if overflowed.any():
-        for set_id in np.unique(set_ids[overflowed]):
-            rows = np.nonzero(set_ids == set_id)[0]
-            _cbtb_replay(rows, sites, takens, targets,
-                         cache.associativity, threshold, counter_max,
-                         present, pred_taken, stored)
+    mask = evict.overflow_rows(set_ids, occupancy, cache.associativity)
+    if mask is not None:
+        evict.cbtb_evict(np.nonzero(mask)[0], set_ids, sites, takens,
+                         targets, cache.associativity, threshold,
+                         counter_max, present, pred_taken, stored)
 
     target_match = pred_taken & (stored == targets)
     return pred_taken, target_match, present.astype(np.int8)
-
-
-def _cbtb_replay(rows, sites, takens, targets, ways, threshold,
-                 counter_max, present, pred_taken, stored):
-    """Exact scalar replay of one overflowing CBTB set."""
-    buffer = {}     # site -> [counter, target]; dict order is LRU
-    for row, site, taken, target in zip(
-            rows.tolist(), sites[rows].tolist(), takens[rows].tolist(),
-            targets[rows].tolist()):
-        entry = buffer.get(site)
-        if entry is not None:
-            del buffer[site]       # the predict-path lookup refresh
-            buffer[site] = entry
-            present[row] = True
-            pred_taken[row] = entry[0] >= threshold
-            stored[row] = entry[1]
-        else:
-            present[row] = False
-            pred_taken[row] = False
-        # Update path: peek semantics, no second recency touch.
-        if entry is None:
-            if len(buffer) >= ways:
-                buffer.pop(next(iter(buffer)))
-            buffer[site] = [threshold if taken else threshold - 1,
-                            target]
-        elif taken:
-            if entry[0] < counter_max:
-                entry[0] += 1
-            entry[1] = target
-        elif entry[0] > 0:
-            entry[0] -= 1

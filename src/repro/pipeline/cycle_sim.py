@@ -93,15 +93,35 @@ class CycleSimulator:
         ras_returns: model the shared return-address mechanism (returns
             always covered); matches the accounting of
             :func:`repro.predictors.base.simulate`.
+        engine: ``auto`` / ``scalar`` / ``vector`` — the same surface
+            as :func:`repro.predictors.base.simulate`.  ``None`` uses
+            the process-wide default.  The vector path
+            (:mod:`repro.kernels.cycle`) is bit-identical and, like
+            ``simulate()``, leaves the predictor object untouched;
+            the scalar path advances it record by record.
     """
 
-    def __init__(self, config, predictor, ras_returns=True):
+    def __init__(self, config, predictor, ras_returns=True,
+                 engine=None):
         self.config = config
         self.predictor = predictor
         self.ras_returns = ras_returns
+        self.engine = engine
 
     def run(self, trace):
         """Simulate ``trace``; returns :class:`CycleStats`."""
+        from repro.kernels import resolve_engine
+
+        resolved = resolve_engine(self.engine, self.predictor, trace)
+        if resolved == "vector":
+            from repro.kernels.cycle import cycle_kernel
+
+            fields = cycle_kernel(self.config, self.predictor, trace,
+                                  self.ras_returns)
+            stats = CycleStats(**fields)
+            self._report(stats, resolved)
+            return stats
+
         config = self.config
         predictor = self.predictor
         conditional_penalty = config.k + config.l + config.m
@@ -136,21 +156,27 @@ class CycleSimulator:
         cycles = fill + instructions + squashed
         stats = CycleStats(cycles, instructions, branches, squashed,
                            mispredictions, fill, squashed_by_class)
+        self._report(stats, resolved)
+        return stats
 
+    def _report(self, stats, engine):
         from repro.telemetry.core import TELEMETRY
         if TELEMETRY.enabled:
             TELEMETRY.count("cycle_sim.runs")
-            TELEMETRY.count("cycle_sim.squashed_cycles", squashed)
+            TELEMETRY.count("cycle_sim.runs.%s" % engine)
+            TELEMETRY.count("cycle_sim.squashed_cycles",
+                            stats.squashed_cycles)
             TELEMETRY.event(
-                "cycle_sim.run", predictor=predictor.name,
-                cycles=stats.cycles, instructions=instructions,
-                branches=branches, mispredictions=mispredictions,
+                "cycle_sim.run", predictor=self.predictor.name,
+                engine=engine, cycles=stats.cycles,
+                instructions=stats.instructions,
+                branches=stats.branches,
+                mispredictions=stats.mispredictions,
                 cycles_per_instruction=stats.cycles_per_instruction,
                 cost_per_branch=stats.cost_per_branch,
                 squashed_by_class={
                     BranchClass.NAMES[code]: cycles
-                    for code, cycles in squashed_by_class.items()})
-        return stats
+                    for code, cycles in stats.squashed_by_class.items()})
 
     def run_with_icache(self, trace, entry, icache, miss_penalty=8):
         """Simulate with an instruction cache in the fetch path.

@@ -265,7 +265,10 @@ class ShardSpec:
         config: canonical scheme config dict.
         scale / runs / profile_source: runner parameters (sweep).
         flush_interval: optional flush cadence (probe).
-        engine: simulation engine the shard runs with.
+        engine: simulation engine the shard runs with
+            (``auto``/``scalar``/``vector``, or ``chunked`` to route
+            chunkable predictors through the two-phase segmented
+            engine — bit-identical either way).
     """
 
     __slots__ = ("kind", "benchmark", "probe", "config", "scale",
@@ -386,6 +389,24 @@ def stats_from_dict(data):
     return stats
 
 
+def _shard_stats(predictor, trace, chunked, engine):
+    """Simulate one shard's predictor, honouring the chunked request.
+
+    Chunked execution runs in-process here (the shard itself may
+    already be inside a supervised worker; nesting process pools
+    would fight the dispatcher for cores) and only for predictors the
+    segmented engine supports — the rest take the ordinary path.
+    """
+    from repro.predictors.base import simulate
+
+    if chunked:
+        from repro.kernels.chunked import chunked_stats, supports_chunked
+
+        if supports_chunked(predictor):
+            return chunked_stats(predictor, trace)
+    return simulate(predictor, trace, engine=engine)
+
+
 def execute_shard(spec, cache_dir=None):
     """Run one shard to completion; returns its JSON-safe result dict.
 
@@ -399,6 +420,13 @@ def execute_shard(spec, cache_dir=None):
 
     if isinstance(spec, dict):
         spec = ShardSpec.from_dict(spec)
+    # "chunked" routes chunkable predictors through the two-phase
+    # segmented engine; everything else (FS, static schemes, flushed
+    # probe runs) falls back to the vector/scalar path.  Either way
+    # the result is bit-identical, so the shard stays a pure function
+    # of its spec and the dedup/result-cache contract holds.
+    chunked = spec.engine == "chunked"
+    engine = "auto" if chunked else spec.engine
     with TELEMETRY.span("service.shard", kind=spec.kind, row=spec.row,
                         column=spec.column):
         if spec.kind == "sweep":
@@ -406,18 +434,21 @@ def execute_shard(spec, cache_dir=None):
 
             runner = SuiteRunner(scale=spec.scale, runs=spec.runs,
                                  cache_dir=cache_dir,
-                                 engine=spec.engine,
+                                 engine=engine,
                                  profile_source=spec.profile_source)
             run = runner.run(spec.benchmark)
             predictor = make_predictor(spec.config,
                                        program=run.fs_program)
-            stats = simulate(predictor, run.trace, engine=spec.engine)
+            stats = _shard_stats(predictor, run.trace, chunked, engine)
         else:
             trace = build_probe_trace(spec.probe)
             predictor = make_predictor(spec.config)
-            stats = simulate(predictor, trace,
-                             flush_interval=spec.flush_interval,
-                             engine=spec.engine)
+            if chunked and spec.flush_interval is None:
+                stats = _shard_stats(predictor, trace, chunked, engine)
+            else:
+                stats = simulate(predictor, trace,
+                                 flush_interval=spec.flush_interval,
+                                 engine=engine)
     return {
         "key": spec.key,
         "kind": spec.kind,

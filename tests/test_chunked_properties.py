@@ -1,0 +1,222 @@
+"""Boundary stitching: chunked execution vs the single-chunk answer.
+
+The contract of :mod:`repro.kernels.chunked` is that segmentation is
+invisible: for any tiling of the trace into contiguous chunks — any
+count, any sizes, single-record segments, cuts landing mid
+branch-burst — the merged statistics and cycle counts equal the
+single-chunk (and scalar) answer bit for bit.  Hypothesis drives the
+tiling and the trace; fixed seeds drive the adversarial cases; the
+process-pool battery proves the supervised multi-worker path returns
+the same bits as one worker and as the scalar loop.
+"""
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.conformance.fuzz import TraceFuzzer
+from repro.kernels.chunked import (
+    chunked_cycle_stats,
+    chunked_stats,
+    plan_chunks,
+)
+from repro.pipeline.config import PipelineConfig
+from repro.pipeline.cycle_sim import CycleSimulator
+from repro.predictors import (
+    Bimodal,
+    CounterBTB,
+    GShare,
+    SimpleBTB,
+    simulate,
+)
+
+from tests.test_kernels_equivalence import _RECORDS, _trace_from
+
+_CONFIG = PipelineConfig(2, 4, 4)
+
+#: Chunkable predictors, with buffers small enough that the fuzzed
+#: traces keep the coordinator's eviction replay on the critical path.
+_SCHEMES = (
+    ("sbtb16", lambda: SimpleBTB(entries=16)),
+    ("sbtb4", lambda: SimpleBTB(entries=4)),
+    ("cbtb8x2", lambda: CounterBTB(entries=8, associativity=2)),
+    ("cbtb4", lambda: CounterBTB(entries=4)),
+    ("gshare", lambda: GShare(history_bits=4, table_bits=6,
+                              entries=16)),
+    ("gshare4", lambda: GShare(history_bits=6, table_bits=6,
+                               entries=4)),
+    ("bimodal", lambda: Bimodal(table_bits=6, entries=8,
+                                associativity=2)),
+)
+
+
+def _stats_key(stats):
+    return (stats.total, stats.correct, stats.buffer_accesses,
+            stats.buffer_misses, dict(stats.by_class_total),
+            dict(stats.by_class_correct))
+
+
+def _cycle_key(stats):
+    return (stats.cycles, stats.instructions, stats.branches,
+            stats.squashed_cycles, stats.mispredictions,
+            stats.fill_cycles, dict(stats.squashed_by_class))
+
+
+def _bounds_from_cuts(n, cuts):
+    edges = sorted({0, n} | {cut for cut in cuts if 0 < cut < n})
+    return list(zip(edges[:-1], edges[1:]))
+
+
+def _assert_stitching(label, make_predictor, trace, bounds, **modes):
+    reference = _stats_key(simulate(make_predictor(), trace,
+                                    engine="scalar", **modes))
+    single = _stats_key(chunked_stats(make_predictor(), trace,
+                                      chunks=1, **modes))
+    tiled = _stats_key(chunked_stats(make_predictor(), trace,
+                                     bounds=bounds, **modes))
+    assert single == reference, (label, bounds, modes)
+    assert tiled == reference, (label, bounds, modes)
+
+
+def test_plan_chunks_tiles_exactly():
+    for n in (0, 1, 2, 5, 97, 1024):
+        for chunks in (1, 2, 3, 7, 64, 2000):
+            bounds = plan_chunks(n, chunks)
+            if n == 0:
+                assert bounds == [(0, 1)] or bounds == []
+                continue
+            assert bounds[0][0] == 0 and bounds[-1][1] == n
+            for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                assert stop == start
+            assert all(stop > start for start, stop in bounds)
+            assert len(bounds) <= min(chunks, n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_RECORDS, st.data())
+def test_random_tilings_stitch_exactly(records, data):
+    trace = _trace_from(records)
+    n = len(trace)
+    cuts = data.draw(st.lists(st.integers(min_value=0, max_value=n),
+                              max_size=8))
+    bounds = _bounds_from_cuts(n, cuts)
+    for label, make_predictor in _SCHEMES:
+        _assert_stitching(label, make_predictor, trace, bounds)
+
+
+@settings(max_examples=15, deadline=None)
+@given(_RECORDS, st.data())
+def test_random_tilings_stitch_in_every_mode(records, data):
+    trace = _trace_from(records)
+    n = len(trace)
+    cuts = data.draw(st.lists(st.integers(min_value=0, max_value=n),
+                              max_size=6))
+    bounds = _bounds_from_cuts(n, cuts)
+    for label, make_predictor in _SCHEMES[:4]:
+        _assert_stitching(label, make_predictor, trace, bounds,
+                          ras_returns=False)
+        _assert_stitching(label, make_predictor, trace, bounds,
+                          conditional_only=True)
+
+
+@settings(max_examples=20, deadline=None)
+@given(_RECORDS, st.data())
+def test_random_tilings_cycle_counts_stitch(records, data):
+    trace = _trace_from(records)
+    n = len(trace)
+    cuts = data.draw(st.lists(st.integers(min_value=0, max_value=n),
+                              max_size=8))
+    bounds = _bounds_from_cuts(n, cuts)
+    for label, make_predictor in _SCHEMES:
+        reference = _cycle_key(
+            CycleSimulator(_CONFIG, make_predictor(),
+                           engine="scalar").run(trace))
+        tiled = _cycle_key(chunked_cycle_stats(
+            _CONFIG, make_predictor(), trace, bounds=bounds))
+        assert tiled == reference, (label, bounds)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_single_record_segments(seed):
+    """The degenerate tiling: every chunk holds exactly one record."""
+    trace = TraceFuzzer(seed).trace()
+    n = len(trace)
+    bounds = [(index, index + 1) for index in range(min(n, 60))]
+    if bounds and bounds[-1][1] < n:
+        bounds.append((bounds[-1][1], n))
+    for label, make_predictor in _SCHEMES:
+        _assert_stitching(label, make_predictor, trace, bounds)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_cuts_inside_branch_bursts(seed):
+    """Cuts placed right after every taken record of one hot site.
+
+    This lands chunk edges mid-burst: the carried per-site tail state
+    (presence, counter, stored target, history bits) is what keeps the
+    downstream chunk honest.
+    """
+    trace = TraceFuzzer(seed + 500).trace()
+    sites = list(trace.sites)
+    hot = max(set(sites), key=sites.count)
+    cuts = [index + 1 for index, site in enumerate(sites)
+            if site == hot][:12]
+    bounds = _bounds_from_cuts(len(trace), cuts)
+    for label, make_predictor in _SCHEMES:
+        _assert_stitching(label, make_predictor, trace, bounds)
+
+
+def test_unsupported_predictor_raises():
+    from repro.predictors import Tournament
+
+    trace = TraceFuzzer(0).trace()
+    with pytest.raises(ValueError):
+        chunked_stats(Tournament(), trace)
+
+
+def test_warm_predictor_raises():
+    trace = TraceFuzzer(0).trace()
+    predictor = SimpleBTB(entries=16)
+    simulate(predictor, trace, engine="scalar")    # warms the buffer
+    with pytest.raises(ValueError):
+        chunked_stats(predictor, trace)
+
+
+def test_process_mode_smoke(tmp_path):
+    """One scheme through the supervised pool on the fast path."""
+    trace = TraceFuzzer(11).trace()
+    reference = _stats_key(simulate(SimpleBTB(entries=16), trace,
+                                    engine="scalar"))
+    got = _stats_key(chunked_stats(SimpleBTB(entries=16), trace,
+                                   chunks=3, workers=2, process=True,
+                                   scratch=tmp_path))
+    assert got == reference
+
+
+@pytest.mark.slow
+def test_process_pool_workers_battery():
+    """4 workers == 1 worker == scalar, bit for bit, every scheme.
+
+    The acceptance bar for the chunked engine: worker count is a
+    throughput knob, never an accuracy knob.
+    """
+    trace = TraceFuzzer(23).trace()
+    for label, make_predictor in _SCHEMES:
+        reference = _stats_key(simulate(make_predictor(), trace,
+                                        engine="scalar"))
+        for workers in (1, 4):
+            with tempfile.TemporaryDirectory() as scratch:
+                got = _stats_key(chunked_stats(
+                    make_predictor(), trace, chunks=4,
+                    workers=workers, process=True, scratch=scratch))
+            assert got == reference, (label, workers)
+        cycle_reference = _cycle_key(
+            CycleSimulator(_CONFIG, make_predictor(),
+                           engine="scalar").run(trace))
+        for workers in (1, 4):
+            with tempfile.TemporaryDirectory() as scratch:
+                got = _cycle_key(chunked_cycle_stats(
+                    _CONFIG, make_predictor(), trace, chunks=4,
+                    workers=workers, process=True, scratch=scratch))
+            assert got == cycle_reference, (label, workers)

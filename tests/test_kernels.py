@@ -282,3 +282,66 @@ def test_prediction_stats_equality_and_dict():
     assert scalar != object()
     vector.correct += 1
     assert scalar != vector
+
+
+# -- eviction screen boundary --------------------------------------------
+
+
+def _capacity_trace(n_sites, repeats=6):
+    """Round-robin taken conditionals over ``n_sites`` distinct sites."""
+    trace = BranchTrace()
+    for _ in range(repeats):
+        for site in range(n_sites):
+            trace.append(site, BranchClass.CONDITIONAL, True,
+                         100 + site, 1)
+    trace.total_instructions = 3 * n_sites * repeats
+    return trace
+
+
+def test_eviction_screen_exact_at_capacity(monkeypatch):
+    """occupancy == ways fills the buffer without evicting: the screen
+    must keep the closed-form path, and route to the eviction kernel
+    only one distinct site later."""
+    from repro.kernels import evict
+
+    calls = []
+    real = evict.cbtb_evict
+
+    def spy(*args, **kwargs):
+        calls.append(True)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(evict, "cbtb_evict", spy)
+
+    full = _capacity_trace(n_sites=2)
+    predictor = CounterBTB(entries=2)
+    assert simulate(predictor, full, engine="vector") \
+        == simulate(CounterBTB(entries=2), full, engine="scalar")
+    assert not calls, "exactly-full set must stay closed-form"
+
+    over = _capacity_trace(n_sites=3)
+    assert simulate(CounterBTB(entries=2), over, engine="vector") \
+        == simulate(CounterBTB(entries=2), over, engine="scalar")
+    assert calls, "overflowing set must route to the eviction kernel"
+
+
+def test_eviction_screen_exact_at_capacity_sbtb(monkeypatch):
+    from repro.kernels import evict
+
+    calls = []
+    real = evict.sbtb_evict
+
+    def spy(*args, **kwargs):
+        calls.append(True)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(evict, "sbtb_evict", spy)
+
+    full = _capacity_trace(n_sites=4)
+    assert simulate(SimpleBTB(entries=4), full, engine="vector") \
+        == simulate(SimpleBTB(entries=4), full, engine="scalar")
+    assert not calls
+    over = _capacity_trace(n_sites=5)
+    assert simulate(SimpleBTB(entries=4), over, engine="vector") \
+        == simulate(SimpleBTB(entries=4), over, engine="scalar")
+    assert calls

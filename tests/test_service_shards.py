@@ -160,3 +160,31 @@ def test_execute_shard_matches_direct_simulation():
     rebuilt = stats_from_dict(result["stats"])
     assert rebuilt.as_dict() == direct.as_dict()
     assert probe_label(probe).startswith("chain(")
+
+
+def test_execute_shard_chunked_engine_is_bit_identical():
+    """engine="chunked" must never change a shard's answer.
+
+    Chunkable schemes route through the segmented engine; the FS
+    scheme (unsupported) and a flushed run silently take the ordinary
+    path — in every case the result dict matches engine="auto", so
+    dedup keys and cached results stay engine-agnostic.
+    """
+    probe = validate_probe({"family": "chain", "m": 6, "stride": 1,
+                            "laps": 8})
+    for scheme in ({"scheme": "GShare"}, {"scheme": "CBTB"},
+                   {"scheme": "FS"}):
+        config = canonical_config(dict(scheme))
+        chunked = execute_shard(ShardSpec("probe", config, probe=probe,
+                                          engine="chunked"))
+        plain = execute_shard(ShardSpec("probe", config, probe=probe,
+                                        engine="auto"))
+        assert chunked["stats"] == plain["stats"], scheme
+    config = canonical_config({"scheme": "CBTB"})
+    flushed = execute_shard(ShardSpec("probe", config, probe=probe,
+                                      flush_interval=7,
+                                      engine="chunked"))
+    reference = execute_shard(ShardSpec("probe", config, probe=probe,
+                                        flush_interval=7,
+                                        engine="scalar"))
+    assert flushed["stats"] == reference["stats"]
